@@ -1,0 +1,181 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI). Each BenchmarkTableN/BenchmarkFigN runs the corresponding
+// experiment driver — the same code behind `lvaexp <id>` — and reports the
+// headline number of that artifact as a custom metric so `go test -bench`
+// output doubles as a results summary. Run with -v to print the full
+// rows/series the paper plots.
+//
+//	go test -bench=. -benchmem
+//
+// Micro-benchmarks for the core structures (approximator, cache, NoC,
+// prefetcher) follow at the bottom.
+package lva_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lva"
+	"lva/internal/experiments"
+	"lva/internal/stats"
+)
+
+// runFigure drives one experiment per iteration; the figure's table is
+// printed once under -v so the bench regenerates the paper's rows.
+func runFigure(b *testing.B, id string) *experiments.Figure {
+	b.Helper()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, ok := lva.RunExperiment(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		fig = f
+	}
+	if testing.Verbose() {
+		fmt.Println(fig.String())
+	}
+	return fig
+}
+
+// rowMean returns the mean of a series, failing the bench if it is absent.
+func rowMean(b *testing.B, f *experiments.Figure, label string) float64 {
+	b.Helper()
+	r, ok := f.Row(label)
+	if !ok {
+		b.Fatalf("%s: missing series %q", f.ID, label)
+	}
+	return r.Mean()
+}
+
+func BenchmarkTable1(b *testing.B) {
+	f := runFigure(b, "table1")
+	b.ReportMetric(rowMean(b, f, "precise L1 MPKI"), "meanMPKI")
+	b.ReportMetric(rowMean(b, f, "inst count variation %"), "meanInstVar%")
+}
+
+func BenchmarkFig1(b *testing.B) {
+	f := runFigure(b, "fig1")
+	b.ReportMetric(rowMean(b, f, "output error")*100, "bodytrackErr%")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	f := runFigure(b, "fig4")
+	b.ReportMetric(rowMean(b, f, "LVA-GHB-0"), "lvaGHB0normMPKI")
+	b.ReportMetric(rowMean(b, f, "LVP-GHB-0"), "lvpGHB0normMPKI")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	f := runFigure(b, "fig5")
+	b.ReportMetric(rowMean(b, f, "GHB-0")*100, "meanErr%GHB0")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	f := runFigure(b, "fig6")
+	b.ReportMetric(rowMean(b, f, "MPKI 10%"), "normMPKI@10%")
+	b.ReportMetric(rowMean(b, f, "error infinite")*100, "err%@inf")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	f := runFigure(b, "fig7")
+	b.ReportMetric(rowMean(b, f, "MPKI delay-4"), "normMPKI@d4")
+	b.ReportMetric(rowMean(b, f, "MPKI delay-32"), "normMPKI@d32")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	f := runFigure(b, "fig8")
+	b.ReportMetric(rowMean(b, f, "fetches prefetch-16"), "prefetch16fetches")
+	b.ReportMetric(rowMean(b, f, "fetches approx-16"), "approx16fetches")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	f := runFigure(b, "fig9")
+	b.ReportMetric(rowMean(b, f, "approx-0")*100, "err%@deg0")
+	b.ReportMetric(rowMean(b, f, "approx-16")*100, "err%@deg16")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	f := runFigure(b, "fig10")
+	b.ReportMetric(rowMean(b, f, "speedup approx-0")*100, "speedup%@deg0")
+	b.ReportMetric(rowMean(b, f, "energy savings approx-16")*100, "energySave%@deg16")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	f := runFigure(b, "fig11")
+	b.ReportMetric(rowMean(b, f, "approx-0"), "normEDP@deg0")
+	b.ReportMetric(rowMean(b, f, "approx-16"), "normEDP@deg16")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	f := runFigure(b, "fig12")
+	row, _ := f.Row("static approx load PCs")
+	b.ReportMetric(stats.Max(row.Values), "maxStaticPCs")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	f := runFigure(b, "fig13")
+	b.ReportMetric(rowMean(b, f, "loss-0 bits"), "normMPKI@loss0")
+	b.ReportMetric(rowMean(b, f, "loss-23 bits"), "normMPKI@loss23")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: throughput of the core hardware-model structures.
+
+func BenchmarkApproximatorOnMiss(b *testing.B) {
+	cfg := lva.DefaultApproximatorConfig()
+	cfg.ValueDelay = 0
+	a := lva.NewApproximator(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OnMiss(uint64(0x400+i%32*4), lva.FloatValue(float64(i%100)))
+	}
+}
+
+func BenchmarkApproximatorWithGHB(b *testing.B) {
+	cfg := lva.DefaultApproximatorConfig()
+	cfg.ValueDelay = 0
+	cfg.GHBSize = 4
+	a := lva.NewApproximator(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OnMiss(uint64(0x400+i%32*4), lva.FloatValue(float64(i%100)))
+	}
+}
+
+func BenchmarkSimulatorLoadHit(b *testing.B) {
+	sim := lva.NewSimulator(lva.DefaultSimConfig())
+	sim.LoadFloat(0x400, 0x1000, 1, false) // warm the block
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.LoadFloat(0x400, 0x1000, 1, false)
+	}
+}
+
+func BenchmarkSimulatorLoadMissCovered(b *testing.B) {
+	cfg := lva.DefaultSimConfig()
+	cfg.Approx.ValueDelay = 0
+	sim := lva.NewSimulator(cfg)
+	for i := 0; i < 8; i++ {
+		sim.LoadInt(0x400, uint64(0x100000+i*64), 10, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh block every time: always a miss, always covered.
+		sim.LoadInt(0x400, uint64(0x200000+i*64), 10, true)
+	}
+}
+
+func BenchmarkFullSystemReplay(b *testing.B) {
+	sw := lva.NewSwaptions()
+	sw.NSwaptions, sw.Paths = 4, 50
+	tr := lva.CaptureTrace(sw, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lva.NewSystem(lva.DefaultSystemConfig()).Run(tr)
+	}
+}

@@ -1,0 +1,162 @@
+package lva_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI integration tests: build the commands once and drive them end to end
+// through their real entry points. Skipped under -short.
+
+var (
+	cliBin = map[string]string{}
+	cliDir string
+)
+
+func buildCLI(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	if p, ok := cliBin[name]; ok {
+		return p
+	}
+	if cliDir == "" {
+		// Binaries are shared across tests, so they must outlive any one
+		// test's TempDir; the OS cleans this up.
+		d, err := os.MkdirTemp("", "lva-cli-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliDir = d
+	}
+	bin := filepath.Join(cliDir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	cliBin[name] = bin
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func TestLvaexpJSON(t *testing.T) {
+	bin := buildCLI(t, "lvaexp")
+	out, _, err := runCLI(t, bin, "-format", "json", "fig12")
+	if err != nil {
+		t.Fatalf("lvaexp: %v", err)
+	}
+	var fig struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Label  string    `json:"label"`
+			Values []float64 `json:"values"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &fig); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if fig.ID != "fig12" || len(fig.Series) == 0 || len(fig.Series[0].Values) != 7 {
+		t.Fatalf("unexpected figure: %+v", fig)
+	}
+}
+
+func TestLvaexpUnknownExperiment(t *testing.T) {
+	bin := buildCLI(t, "lvaexp")
+	_, stderr, err := runCLI(t, bin, "nosuch")
+	if err == nil {
+		t.Fatal("unknown experiment must exit nonzero")
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestLvasimSingleBenchmark(t *testing.T) {
+	bin := buildCLI(t, "lvasim")
+	out, _, err := runCLI(t, bin, "-bench", "swaptions", "-attach", "lva")
+	if err != nil {
+		t.Fatalf("lvasim: %v", err)
+	}
+	if !strings.Contains(out, "swaptions") || !strings.Contains(out, "lva") {
+		t.Fatalf("output missing expected fields:\n%s", out)
+	}
+}
+
+func TestLvatraceCaptureInfoReplay(t *testing.T) {
+	bin := buildCLI(t, "lvatrace")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "sw.lvat")
+
+	out, _, err := runCLI(t, bin, "-capture", "swaptions", "-o", tracePath)
+	if err != nil {
+		t.Fatalf("capture: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	out, _, err = runCLI(t, bin, "-info", tracePath)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.Contains(out, "4 threads") || !strings.Contains(out, "approximate=") {
+		t.Fatalf("info output:\n%s", out)
+	}
+
+	out, _, err = runCLI(t, bin, "-replay", tracePath, "-degree", "4")
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !strings.Contains(out, "lva degree 4") || !strings.Contains(out, "cycles=") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+}
+
+func TestLvadesignCSV(t *testing.T) {
+	bin := buildCLI(t, "lvadesign")
+	out, _, err := runCLI(t, bin, "-bench", "swaptions", "-degrees", "0,4", "-q")
+	if err != nil {
+		t.Fatalf("lvadesign: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,ghb,window,degree") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "swaptions,") {
+			t.Fatalf("row = %q", l)
+		}
+	}
+}
+
+func TestLvareportSubset(t *testing.T) {
+	bin := buildCLI(t, "lvareport")
+	out, _, err := runCLI(t, bin, "-only", "fig12")
+	if err != nil {
+		t.Fatalf("lvareport: %v", err)
+	}
+	for _, want := range []string{"# Load Value Approximation", "## fig12", "| series |", "x264"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command lvadesign runs a custom design-space exploration over the
+// approximator parameters (the paper's phase-1 methodology, §V-A) and
+// emits one CSV row per (benchmark, configuration) point.
+//
+//	lvadesign -bench canneal,x264 -degrees 0,4,16 -windows 0.05,0.1
+//	lvadesign -ghbs 0,1,2,4 -o sweep.csv
+//
+// Lists are comma-separated; omitted dimensions stay at the Table II
+// baseline. The cartesian product runs deterministically (seed flag).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lva/internal/experiments"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		ghbs     = flag.String("ghbs", "", "GHB sizes, e.g. 0,1,2,4")
+		windows  = flag.String("windows", "", "confidence windows, e.g. 0.05,0.1,-1")
+		degrees  = flag.String("degrees", "", "approximation degrees, e.g. 0,4,16")
+		delays   = flag.String("delays", "", "value delays, e.g. 4,8")
+		losses   = flag.String("mantissa", "", "FP mantissa losses in bits, e.g. 0,11,23")
+		lhbs     = flag.String("lhbs", "", "LHB depths, e.g. 2,4,8")
+		intConf  = flag.Bool("intconf", false, "apply confidence to integer data")
+		propConf = flag.Bool("propconf", false, "proportional confidence updates")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "workload input seed")
+		out      = flag.String("o", "", "output CSV file (default stdout)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	spec := experiments.SweepSpec{
+		Benchmarks:    splitStr(*bench),
+		IntConfidence: *intConf,
+		Proportional:  *propConf,
+		Seed:          *seed,
+	}
+	var err error
+	if spec.GHBs, err = splitInts(*ghbs); err != nil {
+		fail(err)
+	}
+	if spec.Windows, err = splitFloats(*windows); err != nil {
+		fail(err)
+	}
+	if spec.Degrees, err = splitInts(*degrees); err != nil {
+		fail(err)
+	}
+	if spec.Delays, err = splitInts(*delays); err != nil {
+		fail(err)
+	}
+	if spec.MantissaLosses, err = splitInts(*losses); err != nil {
+		fail(err)
+	}
+	if spec.LHBs, err = splitInts(*lhbs); err != nil {
+		fail(err)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	progress := func(done, total int) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\rlvadesign: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	points, err := experiments.RunSweep(spec, progress)
+	if err != nil {
+		fail(err)
+	}
+
+	w := csv.NewWriter(dst)
+	if err := w.Write(experiments.CSVHeader()); err != nil {
+		fail(err)
+	}
+	for _, p := range points {
+		if err := w.Write(p.CSVRow()); err != nil {
+			fail(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lvadesign:", err)
+	os.Exit(1)
+}
+
+func splitStr(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitStr(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitStr(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+// Command lvaexp regenerates the paper's tables and figures. Each
+// experiment id maps to one table/figure of the evaluation (§VI):
+//
+//	lvaexp table1         # Table I
+//	lvaexp fig4 fig5      # selected figures
+//	lvaexp all            # everything (phase 1 + full-system)
+//
+// The output rows/series mirror what the paper plots; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lva/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lvaexp [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v, or 'all'\n", experiments.IDs())
+		flag.PrintDefaults()
+	}
+	verbose := flag.Bool("v", false, "print per-experiment timing")
+	format := flag.String("format", "table", "output format: table|csv|json|chart")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var ids []string
+	for _, a := range args {
+		if a == "all" {
+			ids = experiments.IDs()
+			break
+		}
+		ids = append(ids, a)
+	}
+
+	for _, id := range ids {
+		driver, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lvaexp: unknown experiment %q (valid: %v)\n", id, experiments.IDs())
+			os.Exit(2)
+		}
+		start := time.Now()
+		fig := driver()
+		switch *format {
+		case "table":
+			fmt.Println(fig.String())
+		case "csv":
+			fmt.Print(fig.CSV())
+		case "json":
+			out, err := fig.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lvaexp:", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		case "chart":
+			fmt.Println(fig.Chart())
+		default:
+			fmt.Fprintf(os.Stderr, "lvaexp: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command lvasim runs one benchmark kernel under one memory-hierarchy
+// configuration and reports MPKI, coverage, fetches and output error
+// against a precise run of the same seed.
+//
+// Usage:
+//
+//	lvasim -bench canneal -attach lva -degree 4
+//	lvasim -bench all -attach lvp -ghb 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lva/internal/core"
+	"lva/internal/experiments"
+	"lva/internal/stats"
+	"lva/internal/workloads"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "all", "benchmark name or 'all'")
+		attach   = flag.String("attach", "lva", "attachment: precise|lva|lvp|prefetch")
+		ghb      = flag.Int("ghb", 0, "global history buffer size")
+		window   = flag.Float64("window", 0.10, "confidence window (fraction; -1 = infinite)")
+		intConf  = flag.Bool("intconf", false, "apply confidence to integer data too")
+		degree   = flag.Int("degree", 0, "approximation degree (lva) or prefetch degree")
+		delay    = flag.Int("delay", 4, "value delay in load instructions")
+		mantissa = flag.Int("mantissa", 0, "floating-point mantissa bits dropped")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "workload input seed")
+	)
+	flag.Parse()
+
+	var ws []workloads.Workload
+	if *bench == "all" {
+		ws = workloads.All()
+	} else {
+		w, err := workloads.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ws = []workloads.Workload{w}
+	}
+
+	tbl := stats.NewTable("", "benchmark", "attach", "insts", "loadMPKI", "effMPKI", "coverage", "fetches", "error")
+	for _, w := range ws {
+		precise := experiments.RunPrecise(w, *seed)
+
+		var run experiments.RunResult
+		switch *attach {
+		case "precise":
+			run = precise
+		case "lva", "lvp":
+			cfg := core.DefaultConfig()
+			cfg.GHBSize = *ghb
+			cfg.Window = *window
+			cfg.IntConfidence = *intConf
+			cfg.Degree = *degree
+			cfg.ValueDelay = *delay
+			cfg.MantissaLoss = *mantissa
+			if *attach == "lva" {
+				run = experiments.RunLVA(w, cfg, *seed)
+			} else {
+				run = experiments.RunLVP(w, cfg, *seed)
+			}
+		case "prefetch":
+			run = experiments.RunPrefetch(w, *degree, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown attachment %q\n", *attach)
+			os.Exit(2)
+		}
+
+		errFrac := 0.0
+		if *attach != "precise" {
+			errFrac = experiments.ErrorVs(run, precise)
+		}
+		tbl.AddRow(
+			w.Name(), *attach,
+			fmt.Sprintf("%d", run.Sim.Instructions),
+			fmt.Sprintf("%.3f", run.Sim.RawMPKI()),
+			fmt.Sprintf("%.3f", run.Sim.EffectiveMPKI()),
+			stats.Percent(run.Sim.Coverage()),
+			fmt.Sprintf("%d", run.Sim.Fetches),
+			stats.Percent(errFrac),
+		)
+	}
+	fmt.Print(tbl)
+}

@@ -1,0 +1,134 @@
+// Command lvatrace captures, inspects and replays the memory-access traces
+// that connect the phase-1 (Pin-like) simulator to the phase-2 full-system
+// simulator.
+//
+//	lvatrace -capture canneal -o canneal.lvat     # record a 4-thread trace
+//	lvatrace -info canneal.lvat                   # summarize a trace file
+//	lvatrace -replay canneal.lvat -degree 4       # full-system replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lva/internal/core"
+	"lva/internal/experiments"
+	"lva/internal/fullsys"
+	"lva/internal/trace"
+	"lva/internal/workloads"
+)
+
+func main() {
+	var (
+		capture = flag.String("capture", "", "benchmark to capture a trace from")
+		out     = flag.String("o", "", "output trace file (with -capture)")
+		info    = flag.String("info", "", "trace file to summarize")
+		replay  = flag.String("replay", "", "trace file to replay in the full-system simulator")
+		degree  = flag.Int("degree", 0, "approximation degree for -replay (-1 = precise)")
+		seed    = flag.Uint64("seed", experiments.DefaultSeed, "workload input seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *capture != "":
+		if err := doCapture(*capture, *out, *seed); err != nil {
+			fail(err)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *degree); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lvatrace:", err)
+	os.Exit(1)
+}
+
+func doCapture(bench, out string, seed uint64) error {
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	tr := experiments.CaptureTrace(w, seed)
+	if out == "" {
+		out = bench + ".lvat"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d accesses (%d threads) to %s\n", tr.Len(), tr.Threads(), out)
+	return nil
+}
+
+func doInfo(path string) error {
+	tr, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	var loads, stores, approx uint64
+	pcs := map[uint64]struct{}{}
+	for _, a := range tr.Accesses {
+		if a.Op == trace.Store {
+			stores++
+		} else {
+			loads++
+		}
+		if a.Approx {
+			approx++
+			pcs[a.PC] = struct{}{}
+		}
+	}
+	fmt.Printf("trace %q: %d accesses, %d threads\n", tr.Name, tr.Len(), tr.Threads())
+	fmt.Printf("  loads=%d stores=%d approximate=%d staticApproxPCs=%d\n",
+		loads, stores, approx, len(pcs))
+	return nil
+}
+
+func doReplay(path string, degree int) error {
+	tr, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	cfg := fullsys.DefaultConfig()
+	label := "precise"
+	if degree >= 0 {
+		acfg := core.DefaultConfig()
+		acfg.Degree = degree
+		acfg.ValueDelay = 1
+		cfg.Approx = &acfg
+		label = fmt.Sprintf("lva degree %d", degree)
+	}
+	r := fullsys.New(cfg).Run(tr)
+	fmt.Printf("replay %q (%s):\n", tr.Name, label)
+	fmt.Printf("  cycles=%d IPC=%.3f misses=%d covered=%d fetches=%d\n",
+		r.Cycles, r.IPC(), r.L1LoadMisses, r.Covered, r.Fetches)
+	fmt.Printf("  L2acc=%d dram=%d flitHops=%d invals=%d flushes=%d\n",
+		r.L2Accesses, r.DRAMAccesses, r.FlitHops, r.Invalidations, r.Flushes)
+	fmt.Printf("  avgServiceLat=%.1f avgExposedMissLat=%.1f energy=%.3g pJ missEDP=%.3g\n",
+		r.AvgServiceLatency(), r.AvgExposedMissLatency(), r.Energy.TotalPJ(), r.MissEDP())
+	return nil
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}

@@ -1,0 +1,58 @@
+// Financial: price a Black–Scholes option portfolio under load value
+// approximation and walk the paper's performance-error tradeoff — the
+// relaxed confidence window (§III-B) — plus the energy-error tradeoff —
+// the approximation degree (§III-C).
+//
+//	go run ./examples/financial
+package main
+
+import (
+	"fmt"
+
+	"lva"
+)
+
+const seed = 42
+
+func main() {
+	w := lva.NewBlackscholes()
+
+	// Precise reference run.
+	pcfg := lva.DefaultSimConfig()
+	pcfg.Attach = lva.AttachNone
+	psim := lva.NewSimulator(pcfg)
+	preciseOut := w.Run(psim, seed)
+	precise := psim.Result()
+	fmt.Printf("portfolio: %d options, precise MPKI %.3f\n\n", w.N, precise.RawMPKI())
+
+	fmt.Println("confidence-window sweep (performance-error tradeoff):")
+	fmt.Printf("%-10s %10s %10s %12s\n", "window", "effMPKI", "coverage", "pricesOff>1%")
+	for _, win := range []float64{0.01, 0.05, 0.10, 0.20, -1} {
+		cfg := lva.DefaultSimConfig()
+		cfg.Approx.Window = win
+		sim := lva.NewSimulator(cfg)
+		out := w.Run(sim, seed)
+		res := sim.Result()
+		label := fmt.Sprintf("±%.0f%%", win*100)
+		if win < 0 {
+			label = "infinite"
+		}
+		fmt.Printf("%-10s %10.3f %9.1f%% %11.2f%%\n",
+			label, res.EffectiveMPKI(), res.Coverage()*100,
+			out.Error(preciseOut)*100)
+	}
+
+	fmt.Println("\napproximation-degree sweep (energy-error tradeoff):")
+	fmt.Printf("%-8s %10s %12s %12s\n", "degree", "fetches", "fetchSavings", "pricesOff>1%")
+	for _, degree := range []int{0, 2, 4, 8, 16} {
+		cfg := lva.DefaultSimConfig()
+		cfg.Approx.Degree = degree
+		sim := lva.NewSimulator(cfg)
+		out := w.Run(sim, seed)
+		res := sim.Result()
+		fmt.Printf("%-8d %10d %11.1f%% %11.2f%%\n",
+			degree, res.Fetches,
+			(1-float64(res.Fetches)/float64(precise.Fetches))*100,
+			out.Error(preciseOut)*100)
+	}
+}

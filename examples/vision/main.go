@@ -1,0 +1,102 @@
+// Vision: the paper's Figure 1 — run the bodytrack kernel precisely and
+// under load value approximation, then render the camera view with the
+// estimated body positions overlaid, one PGM image per configuration.
+// The two outputs should be nearly indiscernible.
+//
+//	go run ./examples/vision [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"lva"
+	"lva/internal/workloads"
+)
+
+const seed = 42
+
+func main() {
+	outDir := flag.String("out", ".", "directory for the rendered PGM images")
+	flag.Parse()
+
+	w := lva.NewBodytrack()
+
+	pcfg := lva.DefaultSimConfig()
+	pcfg.Attach = lva.AttachNone
+	psim := lva.NewSimulator(pcfg)
+	preciseOut := w.Run(psim, seed).(lva.BodytrackOutput)
+
+	acfg := lva.DefaultSimConfig()
+	asim := lva.NewSimulator(acfg)
+	approxOut := w.Run(asim, seed).(lva.BodytrackOutput)
+	res := asim.Result()
+
+	fmt.Printf("bodytrack: %d frames tracked, LVA coverage %.1f%%\n",
+		len(approxOut.Trajectory), res.Coverage()*100)
+	fmt.Printf("trajectory deviation (output error): %.2f%% of image diagonal\n",
+		approxOut.Error(preciseOut)*100)
+	for i := range preciseOut.Trajectory {
+		p, a := preciseOut.Trajectory[i], approxOut.Trajectory[i]
+		fmt.Printf("  frame %d: precise (%6.2f,%6.2f)  approx (%6.2f,%6.2f)\n",
+			i, p.X, p.Y, a.X, a.Y)
+	}
+
+	// Render the final frame from camera 0 with the trajectory overlaid.
+	lastFrame := len(preciseOut.Trajectory) - 1
+	rng := workloads.NewRNG(seed ^ uint64(lastFrame+1)*0x9E37)
+	img := workloads.SynthFrame(rng, w.Width, w.Height, 0, lastFrame)
+
+	if err := writeOverlay(filepath.Join(*outDir, "bodytrack_precise.pgm"), img, w.Width, w.Height, preciseOut.Trajectory); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeOverlay(filepath.Join(*outDir, "bodytrack_approx.pgm"), img, w.Width, w.Height, approxOut.Trajectory); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n",
+		filepath.Join(*outDir, "bodytrack_precise.pgm"),
+		filepath.Join(*outDir, "bodytrack_approx.pgm"))
+}
+
+// writeOverlay writes a binary PGM of the frame with crosses marking the
+// estimated positions (brightest at the most recent frame).
+func writeOverlay(path string, img []int32, w, h int, traj []lva.Vec2) error {
+	pix := make([]byte, len(img))
+	for i, v := range img {
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		pix[i] = byte(v)
+	}
+	for i, p := range traj {
+		shade := byte(120 + 135*i/len(traj))
+		drawCross(pix, w, h, int(p.X), int(p.Y), 6, shade)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", w, h); err != nil {
+		return err
+	}
+	_, err = f.Write(pix)
+	return err
+}
+
+func drawCross(pix []byte, w, h, cx, cy, r int, shade byte) {
+	for d := -r; d <= r; d++ {
+		if x := cx + d; x >= 0 && x < w && cy >= 0 && cy < h {
+			pix[cy*w+x] = shade
+		}
+		if y := cy + d; y >= 0 && y < h && cx >= 0 && cx < w {
+			pix[y*w+cx] = shade
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module lva
+
+go 1.22

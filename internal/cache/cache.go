@@ -1,0 +1,263 @@
+// Package cache implements a set-associative, write-allocate cache model
+// with true-LRU replacement. It is used for the 64 KB private L1 of the
+// phase-1 (Pin-like) simulator, the 16 KB L1s of the phase-2 full-system
+// simulator, and the distributed shared-L2 banks.
+package cache
+
+import (
+	"fmt"
+)
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// BlockBytes is the line size.
+	BlockBytes int
+	// LatencyCycles is the hit latency used by the timing simulator.
+	LatencyCycles int
+}
+
+// Validate reports a descriptive error for impossible geometries.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache: size must be positive, got %d", c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: ways must be positive, got %d", c.Ways)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache: block size must be a positive power of two, got %d", c.BlockBytes)
+	case c.SizeBytes%(c.Ways*c.BlockBytes) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*block (%d*%d)", c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockBytes) }
+
+// Stats holds per-cache event counts.
+type Stats struct {
+	Loads      uint64
+	Stores     uint64
+	LoadMiss   uint64
+	StoreMiss  uint64
+	Fills      uint64 // blocks inserted (demand fetches + prefetches)
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// Misses returns total load+store misses.
+func (s Stats) Misses() uint64 { return s.LoadMiss + s.StoreMiss }
+
+// Accesses returns total load+store accesses.
+func (s Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	prefetch bool   // inserted by a prefetcher, not yet demanded
+	lru      uint64 // larger = more recently used
+}
+
+// Cache is a set-associative cache. It tracks block presence and
+// recency only; data payloads live with the workloads.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	setMask    uint64
+	blockShift uint
+	clock      uint64
+	stats      Stats
+	// PrefetchHits counts demand accesses whose block was brought in by a
+	// prefetch (useful-prefetch accounting for Figure 8).
+	PrefetchHits uint64
+}
+
+// New builds a cache for the given geometry; it panics on an invalid
+// Config since geometries are compile-time constants in this repository.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.BlockBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		setMask:    uint64(cfg.Sets() - 1),
+		blockShift: shift,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr returns the block-aligned address containing addr.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift << c.blockShift }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.blockShift
+	return blk & c.setMask, blk >> uint(popcount(c.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x >>= 1 {
+		n += int(x & 1)
+	}
+	return n
+}
+
+func (c *Cache) find(set, tag uint64) int {
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the block holding addr is resident, without
+// updating recency or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	return c.find(set, tag) >= 0
+}
+
+// Load performs a demand load of addr. It returns true on a hit. On a miss
+// the block is NOT inserted; callers decide whether the fetch happens (LVA
+// may elide it entirely) and call Fill.
+func (c *Cache) Load(addr uint64) bool {
+	c.stats.Loads++
+	return c.access(addr, false)
+}
+
+func (c *Cache) access(addr uint64, store bool) bool {
+	set, tag := c.index(addr)
+	if i := c.find(set, tag); i >= 0 {
+		c.clock++
+		l := &c.sets[set][i]
+		l.lru = c.clock
+		if store {
+			l.dirty = true
+		}
+		if l.prefetch {
+			l.prefetch = false
+			c.PrefetchHits++
+		}
+		return true
+	}
+	if store {
+		c.stats.StoreMiss++
+	} else {
+		c.stats.LoadMiss++
+	}
+	return false
+}
+
+// Store performs a demand store of addr. It returns true on a hit. Misses
+// are write-allocate: the caller is expected to Fill afterwards (stores are
+// never approximated, matching the paper's load-only focus).
+func (c *Cache) Store(addr uint64) bool {
+	c.stats.Stores++
+	return c.access(addr, true)
+}
+
+// Fill inserts the block containing addr, evicting the LRU way if needed.
+// prefetched marks the block as brought in by a prefetcher. It returns the
+// evicted block address, whether an eviction of a valid block occurred,
+// and whether that victim was dirty (needs a writeback).
+func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, wasValid, wasDirty bool) {
+	set, tag := c.index(addr)
+	if i := c.find(set, tag); i >= 0 {
+		// Already resident (e.g. prefetch raced a demand fill): refresh.
+		c.clock++
+		c.sets[set][i].lru = c.clock
+		return 0, false, false
+	}
+	c.stats.Fills++
+	victim := -1
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(c.sets[set]); i++ {
+			if c.sets[set][i].lru < c.sets[set][victim].lru {
+				victim = i
+			}
+		}
+		v := &c.sets[set][victim]
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			wasDirty = true
+		}
+		evicted = c.rebuild(set, v.tag)
+		wasValid = true
+	}
+	c.clock++
+	c.sets[set][victim] = line{tag: tag, valid: true, lru: c.clock, prefetch: prefetched}
+	return evicted, wasValid, wasDirty
+}
+
+// rebuild reconstructs a block address from set index and tag.
+func (c *Cache) rebuild(set, tag uint64) uint64 {
+	setBits := uint(popcount(c.setMask))
+	return ((tag << setBits) | set) << c.blockShift
+}
+
+// Invalidate removes the block containing addr if present, returning whether
+// it was present and whether it was dirty (the coherence layer needs both).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	if i := c.find(set, tag); i >= 0 {
+		l := &c.sets[set][i]
+		present, dirty = true, l.dirty
+		*l = line{}
+	}
+	return present, dirty
+}
+
+// MarkDirty sets the dirty bit of a resident block (used when a store hit is
+// modeled externally).
+func (c *Cache) MarkDirty(addr uint64) {
+	set, tag := c.index(addr)
+	if i := c.find(set, tag); i >= 0 {
+		c.sets[set][i].dirty = true
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		for _, l := range s {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

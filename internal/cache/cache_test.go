@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{SizeBytes: 1024, Ways: 2, BlockBytes: 64, LatencyCycles: 1} // 8 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 1, BlockBytes: 64},
+		{SizeBytes: 1024, Ways: 0, BlockBytes: 64},
+		{SizeBytes: 1024, Ways: 2, BlockBytes: 48},     // not power of two
+		{SizeBytes: 1000, Ways: 2, BlockBytes: 64},     // not divisible
+		{SizeBytes: 1024 * 3, Ways: 2, BlockBytes: 64}, // 24 sets: not pow2
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	if got := smallConfig().Sets(); got != 8 {
+		t.Fatalf("Sets = %d", got)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on invalid config")
+		}
+	}()
+	New(Config{})
+}
+
+func TestLoadMissThenFillHits(t *testing.T) {
+	c := New(smallConfig())
+	if c.Load(0x1000) {
+		t.Fatal("cold load must miss")
+	}
+	c.Fill(0x1000, false)
+	if !c.Load(0x1000) {
+		t.Fatal("load after fill must hit")
+	}
+	if !c.Load(0x1030) { // same 64B block
+		t.Fatal("same-block load must hit")
+	}
+	st := c.Stats()
+	if st.Loads != 3 || st.LoadMiss != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMissDoesNotInsert(t *testing.T) {
+	c := New(smallConfig())
+	c.Load(0x2000)
+	if c.Contains(0x2000) {
+		t.Fatal("a miss must not insert the block (fetch is the caller's decision)")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(smallConfig()) // 2 ways, 8 sets; blocks mapping to set 0: addr = k*8*64
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Load(a) // make a MRU
+	evicted, was, _ := c.Fill(d, false)
+	if !was {
+		t.Fatal("third fill in a 2-way set must evict")
+	}
+	if evicted != b {
+		t.Fatalf("LRU victim = %#x, want %#x", evicted, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	c := New(smallConfig())
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Fill(a, false)
+	c.MarkDirty(a)
+	c.Fill(b, false)
+	c.Load(b) // b MRU, a LRU
+	_, was, dirty := c.Fill(d, false)
+	if !was || !dirty {
+		t.Fatalf("dirty LRU eviction: was=%v dirty=%v", was, dirty)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestStoreWriteAllocateSemantics(t *testing.T) {
+	c := New(smallConfig())
+	if c.Store(0x40) {
+		t.Fatal("cold store must miss")
+	}
+	c.Fill(0x40, false)
+	c.MarkDirty(0x40)
+	if !c.Store(0x40) {
+		t.Fatal("store after fill must hit")
+	}
+	if c.Stats().StoreMiss != 1 || c.Stats().Stores != 2 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallConfig())
+	c.Fill(0x80, false)
+	c.MarkDirty(0x80)
+	present, dirty := c.Invalidate(0x80)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(0x80) {
+		t.Fatal("block must be gone after invalidate")
+	}
+	present, _ = c.Invalidate(0x80)
+	if present {
+		t.Fatal("double invalidate must report absent")
+	}
+}
+
+func TestPrefetchHitAccounting(t *testing.T) {
+	c := New(smallConfig())
+	c.Fill(0x100, true) // prefetched
+	if c.PrefetchHits != 0 {
+		t.Fatal("no demand access yet")
+	}
+	c.Load(0x100)
+	if c.PrefetchHits != 1 {
+		t.Fatalf("PrefetchHits = %d", c.PrefetchHits)
+	}
+	c.Load(0x100)
+	if c.PrefetchHits != 1 {
+		t.Fatal("prefetch hit must count once")
+	}
+}
+
+func TestFillExistingRefreshes(t *testing.T) {
+	c := New(smallConfig())
+	c.Fill(0x200, false)
+	_, was, _ := c.Fill(0x200, false)
+	if was {
+		t.Fatal("re-fill of resident block must not evict")
+	}
+	if c.Stats().Fills != 1 {
+		t.Fatalf("fills = %d (re-fill must not count)", c.Stats().Fills)
+	}
+}
+
+func TestBlockAddr(t *testing.T) {
+	c := New(smallConfig())
+	if got := c.BlockAddr(0x1234); got != 0x1200 {
+		t.Fatalf("BlockAddr = %#x", got)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	cfg := smallConfig()
+	capacity := cfg.Sets() * cfg.Ways
+	f := func(addrs []uint16) bool {
+		c := New(cfg)
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			if !c.Load(addr) {
+				c.Fill(addr, false)
+			}
+		}
+		return c.Occupancy() <= capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilledBlocksAreFound(t *testing.T) {
+	// Property: immediately after Fill(addr), Contains(addr) holds.
+	cfg := smallConfig()
+	f := func(addrs []uint32) bool {
+		c := New(cfg)
+		for _, a := range addrs {
+			addr := uint64(a)
+			c.Fill(addr, false)
+			if !c.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictedAddressReconstruction(t *testing.T) {
+	// Property: the evicted address is block-aligned and maps to the same
+	// set as the filled address.
+	cfg := smallConfig()
+	c := New(cfg)
+	set0 := []uint64{0, 8 * 64, 16 * 64, 24 * 64}
+	c.Fill(set0[0], false)
+	c.Fill(set0[1], false)
+	evicted, was, _ := c.Fill(set0[2], false)
+	if !was {
+		t.Fatal("expected eviction")
+	}
+	if evicted%64 != 0 {
+		t.Fatalf("evicted address %#x not block-aligned", evicted)
+	}
+	if evicted != set0[0] {
+		t.Fatalf("evicted %#x, want %#x", evicted, set0[0])
+	}
+}

@@ -1,0 +1,168 @@
+// Package coherence implements the MSI directory protocol used by the
+// full-system simulator (Table II: MSI over a distributed shared L2). The
+// directory lives at each block's L2 home node and tracks which private L1s
+// hold the block and in what state; the timing simulator asks it what
+// messages a load or store implies and charges the corresponding NoC and
+// cache events.
+package coherence
+
+import "fmt"
+
+// State is an MSI block state as tracked by the directory.
+type State uint8
+
+const (
+	// Invalid: no L1 holds the block.
+	Invalid State = iota
+	// Shared: one or more L1s hold a read-only copy.
+	Shared
+	// Modified: exactly one L1 holds a dirty, exclusive copy.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+type line struct {
+	state   State
+	sharers uint64 // bitmask of nodes with a copy
+	owner   int    // valid when state == Modified
+}
+
+// Action tells the timing simulator what a request implies beyond the
+// home-node lookup.
+type Action struct {
+	// FlushFrom >= 0 means the block must be fetched from that node's L1
+	// (it holds the only up-to-date copy in Modified state).
+	FlushFrom int
+	// Invalidate lists nodes whose L1 copies must be invalidated.
+	Invalidate []int
+}
+
+// Directory tracks MSI state for all blocks. Not safe for concurrent use.
+type Directory struct {
+	nodes int
+	lines map[uint64]*line
+
+	// Invalidations counts invalidation messages implied by stores.
+	Invalidations uint64
+	// Flushes counts owner-flush round trips implied by remote dirty copies.
+	Flushes uint64
+}
+
+// NewDirectory builds a directory for n nodes (n <= 64).
+func NewDirectory(n int) *Directory {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("coherence: node count %d out of range [1,64]", n))
+	}
+	return &Directory{nodes: n, lines: make(map[uint64]*line)}
+}
+
+// StateOf returns the directory state of a block.
+func (d *Directory) StateOf(block uint64) State {
+	if l, ok := d.lines[block]; ok {
+		return l.state
+	}
+	return Invalid
+}
+
+// Sharers returns the nodes currently holding the block.
+func (d *Directory) Sharers(block uint64) []int {
+	l, ok := d.lines[block]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for n := 0; n < d.nodes; n++ {
+		if l.sharers&(1<<uint(n)) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (d *Directory) get(block uint64) *line {
+	l, ok := d.lines[block]
+	if !ok {
+		l = &line{owner: -1}
+		d.lines[block] = l
+	}
+	return l
+}
+
+// Load records node reading block and returns the implied action. The
+// requester ends with (at least) a Shared copy; a remote Modified owner is
+// downgraded to Shared after flushing.
+func (d *Directory) Load(block uint64, node int) Action {
+	l := d.get(block)
+	act := Action{FlushFrom: -1}
+	switch l.state {
+	case Invalid:
+		l.state = Shared
+	case Shared:
+		// nothing extra
+	case Modified:
+		if l.owner != node {
+			act.FlushFrom = l.owner
+			d.Flushes++
+			l.state = Shared
+			l.owner = -1
+		} else {
+			// Requester already owns it (shouldn't be a miss, but a
+			// conflict eviction may have dropped the L1 copy silently).
+			l.state = Shared
+			l.owner = -1
+		}
+	}
+	l.sharers |= 1 << uint(node)
+	return act
+}
+
+// Store records node writing block and returns the implied action: all
+// other sharers are invalidated and a remote dirty owner flushes first.
+func (d *Directory) Store(block uint64, node int) Action {
+	l := d.get(block)
+	act := Action{FlushFrom: -1}
+	if l.state == Modified && l.owner != node && l.owner >= 0 {
+		act.FlushFrom = l.owner
+		d.Flushes++
+	}
+	for n := 0; n < d.nodes; n++ {
+		if n == node {
+			continue
+		}
+		if l.sharers&(1<<uint(n)) != 0 {
+			act.Invalidate = append(act.Invalidate, n)
+			d.Invalidations++
+		}
+	}
+	l.state = Modified
+	l.owner = node
+	l.sharers = 1 << uint(node)
+	return act
+}
+
+// Evict records that node dropped its copy (L1 replacement). A Modified
+// owner eviction implies a writeback, which the caller charges separately.
+func (d *Directory) Evict(block uint64, node int) {
+	l, ok := d.lines[block]
+	if !ok {
+		return
+	}
+	l.sharers &^= 1 << uint(node)
+	if l.state == Modified && l.owner == node {
+		l.state = Invalid
+		l.owner = -1
+	}
+	if l.sharers == 0 {
+		delete(d.lines, block)
+	}
+}

@@ -1,0 +1,174 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const blk = uint64(0x1000)
+
+func TestInitialStateInvalid(t *testing.T) {
+	d := NewDirectory(4)
+	if d.StateOf(blk) != Invalid {
+		t.Fatal("unknown block must be Invalid")
+	}
+	if d.Sharers(blk) != nil {
+		t.Fatal("unknown block must have no sharers")
+	}
+}
+
+func TestLoadGrantsShared(t *testing.T) {
+	d := NewDirectory(4)
+	act := d.Load(blk, 0)
+	if act.FlushFrom != -1 || len(act.Invalidate) != 0 {
+		t.Fatalf("clean load must need nothing: %+v", act)
+	}
+	if d.StateOf(blk) != Shared {
+		t.Fatalf("state = %v", d.StateOf(blk))
+	}
+	d.Load(blk, 2)
+	sh := d.Sharers(blk)
+	if len(sh) != 2 || sh[0] != 0 || sh[1] != 2 {
+		t.Fatalf("sharers = %v", sh)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	d := NewDirectory(4)
+	d.Load(blk, 0)
+	d.Load(blk, 1)
+	d.Load(blk, 2)
+	act := d.Store(blk, 0)
+	if act.FlushFrom != -1 {
+		t.Fatalf("no dirty owner to flush: %+v", act)
+	}
+	if len(act.Invalidate) != 2 {
+		t.Fatalf("invalidate list = %v, want nodes 1 and 2", act.Invalidate)
+	}
+	if d.StateOf(blk) != Modified {
+		t.Fatalf("state = %v", d.StateOf(blk))
+	}
+	if sh := d.Sharers(blk); len(sh) != 1 || sh[0] != 0 {
+		t.Fatalf("sharers after store = %v", sh)
+	}
+	if d.Invalidations != 2 {
+		t.Fatalf("invalidations = %d", d.Invalidations)
+	}
+}
+
+func TestLoadFlushesRemoteDirty(t *testing.T) {
+	d := NewDirectory(4)
+	d.Store(blk, 1)
+	act := d.Load(blk, 0)
+	if act.FlushFrom != 1 {
+		t.Fatalf("load must flush from the dirty owner: %+v", act)
+	}
+	if d.StateOf(blk) != Shared {
+		t.Fatal("after flush the block is Shared")
+	}
+	if d.Flushes != 1 {
+		t.Fatalf("flushes = %d", d.Flushes)
+	}
+	sh := d.Sharers(blk)
+	if len(sh) != 2 {
+		t.Fatalf("both nodes share after downgrade: %v", sh)
+	}
+}
+
+func TestStoreFlushesRemoteDirty(t *testing.T) {
+	d := NewDirectory(4)
+	d.Store(blk, 1)
+	act := d.Store(blk, 2)
+	if act.FlushFrom != 1 {
+		t.Fatalf("store must flush the previous owner: %+v", act)
+	}
+	if len(act.Invalidate) != 1 || act.Invalidate[0] != 1 {
+		t.Fatalf("previous owner must be invalidated: %+v", act)
+	}
+	if d.StateOf(blk) != Modified || d.Sharers(blk)[0] != 2 {
+		t.Fatal("ownership must transfer")
+	}
+}
+
+func TestOwnStoreUpgradeNoFlush(t *testing.T) {
+	d := NewDirectory(4)
+	d.Load(blk, 0)
+	act := d.Store(blk, 0)
+	if act.FlushFrom != -1 || len(act.Invalidate) != 0 {
+		t.Fatalf("upgrading sole sharer needs nothing: %+v", act)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := NewDirectory(4)
+	d.Load(blk, 0)
+	d.Load(blk, 1)
+	d.Evict(blk, 0)
+	if sh := d.Sharers(blk); len(sh) != 1 || sh[0] != 1 {
+		t.Fatalf("sharers after evict = %v", sh)
+	}
+	d.Evict(blk, 1)
+	if d.StateOf(blk) != Invalid {
+		t.Fatal("last evict must drop the line")
+	}
+	// Evicting a dirty owner invalidates the line.
+	d.Store(blk, 2)
+	d.Evict(blk, 2)
+	if d.StateOf(blk) != Invalid {
+		t.Fatal("owner evict must invalidate")
+	}
+	// Evicting an unknown block is a no-op.
+	d.Evict(0xDEAD, 0)
+}
+
+func TestNewDirectoryBounds(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDirectory(%d) must panic", n)
+				}
+			}()
+			NewDirectory(n)
+		}()
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("state strings")
+	}
+}
+
+// TestSingleOwnerInvariant drives random load/store/evict sequences and
+// checks MSI's core invariant: Modified implies exactly one sharer.
+func TestSingleOwnerInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDirectory(4)
+		blocks := []uint64{0x100, 0x200}
+		for _, op := range ops {
+			b := blocks[int(op>>1)%2]
+			node := int(op>>3) % 4
+			switch op % 3 {
+			case 0:
+				d.Load(b, node)
+			case 1:
+				d.Store(b, node)
+			case 2:
+				d.Evict(b, node)
+			}
+			for _, bb := range blocks {
+				if d.StateOf(bb) == Modified && len(d.Sharers(bb)) != 1 {
+					return false
+				}
+				if d.StateOf(bb) == Invalid && len(d.Sharers(bb)) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

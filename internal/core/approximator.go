@@ -1,0 +1,375 @@
+package core
+
+import (
+	"lva/internal/value"
+)
+
+// Decision is the approximator's response to a cache miss.
+type Decision struct {
+	// Approximated reports whether a value was generated and handed to the
+	// processor (coverage). When false the load behaves precisely: the
+	// processor waits for the fetch.
+	Approximated bool
+	// Value is the approximate value (valid only when Approximated).
+	Value value.Value
+	// Fetch reports whether the block is fetched from the next level of
+	// the hierarchy. With approximation degree > 0 a covered miss may
+	// elide the fetch entirely (Fetch == false).
+	Fetch bool
+	// Correct reports, in LVP mode, whether the idealized predictor had
+	// the exact value available (upper bound on prediction correctness).
+	Correct bool
+}
+
+// Stats counts approximator events.
+type Stats struct {
+	Misses         uint64 // approximate-load misses presented
+	Approximations uint64 // misses covered with a generated value
+	Fetches        uint64 // block fetches issued (training loads)
+	ElidedFetches  uint64 // fetches skipped via approximation degree
+	Trainings      uint64 // training commits (after value delay)
+	ConfAccepts    uint64 // trainings within the confidence window
+	ConfRejects    uint64 // trainings outside the window
+	NoEntry        uint64 // misses with no matching table entry
+	LowConfidence  uint64 // misses rejected by the confidence counter
+	LVPCorrect     uint64 // LVP mode: exact value present in LHB
+}
+
+// Coverage returns the fraction of misses that were approximated.
+func (s Stats) Coverage() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Approximations) / float64(s.Misses)
+}
+
+type entry struct {
+	valid  bool
+	tag    uint64
+	conf   int
+	degree int    // remaining reuses before the next training fetch
+	lru    uint64 // recency stamp for associative tables
+	lhb    []value.Value
+}
+
+// pendingTrain models value delay: the actual value arrives at the history
+// buffers only after `countdown` further load instructions have issued.
+type pendingTrain struct {
+	set       int         // table set captured at miss time
+	tag       uint64      // tag captured at miss time
+	actual    value.Value // precise value from memory
+	approx    value.Value // value the approximator generated (or would have)
+	hadApprox bool        // whether approx is meaningful for confidence
+	countdown int
+}
+
+// Approximator is the load value approximator of Figure 3. It is not safe
+// for concurrent use; the simulators instantiate one per core.
+type Approximator struct {
+	cfg      Config
+	idxMask  uint64
+	idxBits  uint
+	tagMask  uint64
+	table    [][]entry // [set][way]
+	clock    uint64
+	ghb      []value.Value // ring of last GHBSize trained values
+	ghbHead  int
+	ghbCount int
+	pending  []pendingTrain
+	stats    Stats
+}
+
+// New builds an approximator; it panics on an invalid Config since
+// configurations are fixed experiment parameters.
+func New(cfg Config) *Approximator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	idxBits := uint(0)
+	for 1<<idxBits < cfg.Sets() {
+		idxBits++
+	}
+	table := make([][]entry, cfg.Sets())
+	for i := range table {
+		table[i] = make([]entry, cfg.TableWays)
+	}
+	a := &Approximator{
+		cfg:     cfg,
+		idxMask: uint64(cfg.Sets() - 1),
+		idxBits: idxBits,
+		tagMask: (uint64(1) << cfg.TagBits) - 1,
+		table:   table,
+	}
+	if cfg.GHBSize > 0 {
+		a.ghb = make([]value.Value, cfg.GHBSize)
+	}
+	return a
+}
+
+// Config returns the configuration the approximator was built with.
+func (a *Approximator) Config() Config { return a.cfg }
+
+// Stats returns a copy of the event counters.
+func (a *Approximator) Stats() Stats { return a.stats }
+
+// hash folds the load PC and the GHB contents into a table set index and
+// tag using XOR, the paper's baseline context hash h(PC, GHB).
+func (a *Approximator) hash(pc uint64) (set int, tag uint64) {
+	h := pc
+	// Mix the PC so nearby PCs spread across the table.
+	h ^= h >> 17
+	for i := 0; i < a.ghbCount; i++ {
+		v := a.ghb[(a.ghbHead-1-i+len(a.ghb)*2)%len(a.ghb)]
+		x := value.Truncate(v, a.cfg.MantissaLoss).Bits
+		// Fold the value so its entropy (which for floats lives in the
+		// high exponent/mantissa bits, especially after truncation)
+		// reaches the low bits that form the index and tag. Equal values
+		// still hash equally, so truncation improves locality (§VII-B).
+		x ^= x >> 33
+		x ^= x >> 15
+		h ^= x
+	}
+	return int(h & a.idxMask), (h >> a.idxBits) & a.tagMask
+}
+
+// lookup finds the tag-matching entry in a set and refreshes its recency.
+func (a *Approximator) lookup(set int, tag uint64) *entry {
+	for i := range a.table[set] {
+		e := &a.table[set][i]
+		if e.valid && e.tag == tag {
+			a.clock++
+			e.lru = a.clock
+			return e
+		}
+	}
+	return nil
+}
+
+// OnMiss is invoked on an L1 miss of an approximate load. `actual` is the
+// precise value in memory; the execution-driven simulator knows it and the
+// approximator uses it only for (possibly delayed) training, mirroring the
+// hardware where X_actual arrives with the fetched block.
+func (a *Approximator) OnMiss(pc uint64, actual value.Value) Decision {
+	a.stats.Misses++
+	set, tag := a.hash(pc)
+	e := a.lookup(set, tag)
+
+	if e == nil {
+		// Cold or aliased entry: no approximation possible; fetch, then
+		// (after the value delay) allocate/retag and train.
+		a.stats.NoEntry++
+		a.stats.Fetches++
+		a.enqueueTrain(set, tag, actual, value.Value{}, false)
+		return Decision{Fetch: true}
+	}
+
+	if a.cfg.Mode == ModeLVP {
+		return a.lvpMiss(set, tag, e, actual)
+	}
+
+	if len(e.lhb) == 0 {
+		// Entry exists but has no history yet (e.g. retagged while a
+		// training is still pending): behave precisely.
+		a.stats.NoEntry++
+		a.stats.Fetches++
+		a.enqueueTrain(set, tag, actual, value.Value{}, false)
+		return Decision{Fetch: true}
+	}
+
+	candidate := a.cfg.Compute.apply(e.lhb)
+
+	// Confidence gate: floating-point data always uses the counter;
+	// integer data only when IntConfidence is set (§VI-B).
+	useConf := actual.Kind == value.Float || a.cfg.IntConfidence
+	if useConf && e.conf < 0 {
+		a.stats.LowConfidence++
+		a.stats.Fetches++
+		a.enqueueTrain(set, tag, actual, candidate, true)
+		return Decision{Fetch: true}
+	}
+
+	a.stats.Approximations++
+
+	// Approximation made: the degree counter (initialized to the maximum
+	// degree, decremented per approximation) decides whether the fetch is
+	// elided. Only when it reaches zero is the block fetched, the entry
+	// trained, and the counter reset (§III-C). While the counter drains the
+	// LHB is unchanged, so the recomputed candidate is the same value the
+	// paper describes as "reused".
+	if a.cfg.Degree > 0 && e.degree > 0 {
+		e.degree--
+		a.stats.ElidedFetches++
+		return Decision{Approximated: true, Value: candidate, Fetch: false}
+	}
+	e.degree = a.cfg.Degree
+	a.stats.Fetches++
+	a.enqueueTrain(set, tag, actual, candidate, true)
+	return Decision{Approximated: true, Value: candidate, Fetch: true}
+}
+
+// lvpMiss implements the idealized LVP baseline: coverage iff the exact
+// value sits in the LHB; the block is always fetched and trained.
+func (a *Approximator) lvpMiss(set int, tag uint64, e *entry, actual value.Value) Decision {
+	correct := false
+	for _, v := range e.lhb {
+		if v.Equal(actual) {
+			correct = true
+			break
+		}
+	}
+	a.stats.Fetches++
+	a.enqueueTrain(set, tag, actual, actual, false)
+	if correct {
+		a.stats.LVPCorrect++
+		a.stats.Approximations++
+		return Decision{Approximated: true, Value: actual, Fetch: true, Correct: true}
+	}
+	return Decision{Fetch: true}
+}
+
+// enqueueTrain schedules a training commit after the configured value delay.
+func (a *Approximator) enqueueTrain(set int, tag uint64, actual, approx value.Value, hadApprox bool) {
+	t := pendingTrain{set: set, tag: tag, actual: actual, approx: approx, hadApprox: hadApprox, countdown: a.cfg.ValueDelay}
+	if t.countdown == 0 {
+		a.commitTrain(t)
+		return
+	}
+	a.pending = append(a.pending, t)
+}
+
+// OnLoad must be called once per load instruction issued by the core (hit
+// or miss, approximate or not). It advances the value-delay countdowns:
+// blocks "arrive" only after the configured number of further loads.
+func (a *Approximator) OnLoad() {
+	if len(a.pending) == 0 {
+		return
+	}
+	kept := a.pending[:0]
+	for i := range a.pending {
+		a.pending[i].countdown--
+		if a.pending[i].countdown <= 0 {
+			a.commitTrain(a.pending[i])
+		} else {
+			kept = append(kept, a.pending[i])
+		}
+	}
+	a.pending = kept
+}
+
+// Drain commits all pending trainings immediately (end of simulation).
+func (a *Approximator) Drain() {
+	for _, t := range a.pending {
+		a.commitTrain(t)
+	}
+	a.pending = a.pending[:0]
+}
+
+// commitTrain performs step 4 of Figure 2: X_actual is pushed into the GHB
+// and the entry's LHB, and the confidence counter moves by ±1 depending on
+// whether X_approx fell within the relaxed confidence window.
+func (a *Approximator) commitTrain(t pendingTrain) {
+	a.stats.Trainings++
+	stored := value.Truncate(t.actual, a.cfg.MantissaLoss)
+
+	// GHB push (all trained values, global across entries).
+	if len(a.ghb) > 0 {
+		a.ghb[a.ghbHead] = stored
+		a.ghbHead = (a.ghbHead + 1) % len(a.ghb)
+		if a.ghbCount < len(a.ghb) {
+			a.ghbCount++
+		}
+	}
+
+	e := a.lookup(t.set, t.tag)
+	if e == nil {
+		// (Re)allocate: pick an invalid way or evict the LRU one.
+		victim := 0
+		for i := range a.table[t.set] {
+			if !a.table[t.set][i].valid {
+				victim = i
+				break
+			}
+			if a.table[t.set][i].lru < a.table[t.set][victim].lru {
+				victim = i
+			}
+		}
+		a.clock++
+		a.table[t.set][victim] = entry{valid: true, tag: t.tag, conf: 0, degree: a.cfg.Degree, lru: a.clock}
+		e = &a.table[t.set][victim]
+	}
+	e.lhb = append(e.lhb, stored)
+	if len(e.lhb) > a.cfg.LHBSize {
+		e.lhb = e.lhb[1:]
+	}
+
+	if !t.hadApprox {
+		return
+	}
+	if value.WithinWindow(t.approx, t.actual, a.cfg.Window) {
+		a.stats.ConfAccepts++
+		if e.conf < a.cfg.ConfMax() {
+			e.conf++
+		}
+		return
+	}
+	a.stats.ConfRejects++
+	step := 1
+	// §III-B future work: penalize approximations proportionally to how
+	// far off they were. Beyond twice the window costs an extra step.
+	if a.cfg.ProportionalConfidence && a.cfg.Window > 0 &&
+		!value.WithinWindow(t.approx, t.actual, 2*a.cfg.Window) {
+		step = 2
+	}
+	e.conf -= step
+	if e.conf < a.cfg.ConfMin() {
+		e.conf = a.cfg.ConfMin()
+	}
+}
+
+// Reset clears all table, history and pending-training state, keeping the
+// configuration. Statistics are also reset.
+func (a *Approximator) Reset() {
+	for s := range a.table {
+		for w := range a.table[s] {
+			a.table[s][w] = entry{}
+		}
+	}
+	for i := range a.ghb {
+		a.ghb[i] = value.Value{}
+	}
+	a.ghbHead, a.ghbCount = 0, 0
+	a.pending = a.pending[:0]
+	a.stats = Stats{}
+}
+
+// PendingTrainings reports how many fetched blocks are still in flight
+// (useful for tests of the value-delay machinery).
+func (a *Approximator) PendingTrainings() int { return len(a.pending) }
+
+// EntryConfidence exposes the confidence counter for the entry a PC hashes
+// to with the current GHB state, for tests and introspection. The second
+// result reports whether a valid, tag-matching entry exists.
+func (a *Approximator) EntryConfidence(pc uint64) (int, bool) {
+	set, tag := a.hash(pc)
+	for i := range a.table[set] {
+		e := &a.table[set][i]
+		if e.valid && e.tag == tag {
+			return e.conf, true
+		}
+	}
+	return 0, false
+}
+
+// OccupiedEntries counts valid table entries (table-utilization metric for
+// the hardware-budget discussion of §VII-A).
+func (a *Approximator) OccupiedEntries() int {
+	n := 0
+	for s := range a.table {
+		for w := range a.table[s] {
+			if a.table[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"lva/internal/value"
+)
+
+func TestTableWaysValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableWays = 0
+	if cfg.Validate() == nil {
+		t.Fatal("zero ways must be rejected")
+	}
+	cfg.TableWays = 3 // 512/3 is not integral
+	if cfg.Validate() == nil {
+		t.Fatal("non-dividing ways must be rejected")
+	}
+	cfg.TableWays = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("4-way 512-entry table must validate: %v", err)
+	}
+	if cfg.Sets() != 128 {
+		t.Fatalf("sets = %d", cfg.Sets())
+	}
+}
+
+func TestAssociativityReducesAliasing(t *testing.T) {
+	// Two PCs that collide in a 1-set table: direct-mapped they evict each
+	// other (no coverage); 2-way they coexist.
+	run := func(ways int) uint64 {
+		cfg := immediate()
+		cfg.TableEntries = 2
+		cfg.TableWays = ways
+		a := New(cfg)
+		for i := 0; i < 50; i++ {
+			a.OnMiss(0x0001, value.FromInt(10))
+			a.OnMiss(0x10001, value.FromInt(20))
+		}
+		return a.Stats().Approximations
+	}
+	// Find two PCs mapping to the same set in a 1-set config is trivial:
+	// with TableWays == TableEntries there is a single set.
+	direct := run(1) // 2 sets, possibly separate; use as baseline
+	assoc := run(2)  // 1 set, 2 ways: both PCs fit
+	if assoc == 0 {
+		t.Fatal("2-way single-set table must cover both streams")
+	}
+	_ = direct // direct-mapped behaviour depends on hash placement
+}
+
+func TestAssociativeLRUReplacement(t *testing.T) {
+	cfg := immediate()
+	cfg.TableEntries = 2
+	cfg.TableWays = 2 // single set, 2 ways
+	a := New(cfg)
+	// Fill both ways.
+	a.OnMiss(0xA, value.FromInt(1))
+	a.OnMiss(0xB, value.FromInt(2))
+	// Touch A to make B the LRU, then allocate C: B must be evicted.
+	a.OnMiss(0xA, value.FromInt(1))
+	a.OnMiss(0xC, value.FromInt(3))
+	if _, ok := a.EntryConfidence(0xA); !ok {
+		t.Fatal("A must survive (recently used)")
+	}
+	if _, ok := a.EntryConfidence(0xC); !ok {
+		t.Fatal("C must be resident after allocation")
+	}
+	if _, ok := a.EntryConfidence(0xB); ok {
+		t.Fatal("B must have been the LRU victim")
+	}
+}
+
+func TestOccupiedEntries(t *testing.T) {
+	a := New(immediate())
+	if a.OccupiedEntries() != 0 {
+		t.Fatal("fresh table must be empty")
+	}
+	a.OnMiss(0x100, value.FromInt(1))
+	a.OnMiss(0x200, value.FromInt(2))
+	if got := a.OccupiedEntries(); got != 2 {
+		t.Fatalf("occupied = %d, want 2", got)
+	}
+}
+
+func TestProportionalConfidenceFasterDecay(t *testing.T) {
+	run := func(prop bool) int {
+		cfg := immediate()
+		cfg.ProportionalConfidence = prop
+		a := New(cfg)
+		// Saturate confidence with stable values.
+		for i := 0; i < 20; i++ {
+			a.OnMiss(0x400, value.FromFloat(100))
+		}
+		// One wildly-off training: far beyond 2x the ±10% window.
+		a.OnMiss(0x400, value.FromFloat(1e9))
+		conf, _ := a.EntryConfidence(0x400)
+		return conf
+	}
+	plain := run(false)
+	prop := run(true)
+	if prop >= plain {
+		t.Fatalf("proportional decay must drop confidence faster: %d vs %d", prop, plain)
+	}
+	if plain != 6 || prop != 5 {
+		t.Fatalf("expected 7-1=6 and 7-2=5, got %d and %d", plain, prop)
+	}
+}
+
+func TestProportionalConfidenceMildMiss(t *testing.T) {
+	// An approximation just outside the window (but within 2x) must still
+	// decay by one even with proportional updates.
+	cfg := immediate()
+	cfg.ProportionalConfidence = true
+	a := New(cfg)
+	for i := 0; i < 20; i++ {
+		a.OnMiss(0x400, value.FromFloat(100))
+	}
+	// LHB average is 100; actual 85 is 15% off less than 2x window (20%).
+	a.OnMiss(0x400, value.FromFloat(85))
+	conf, _ := a.EntryConfidence(0x400)
+	if conf != 6 {
+		t.Fatalf("mild miss must cost one step, got conf %d", conf)
+	}
+}
+
+func TestProportionalConfidenceFloorsAtMin(t *testing.T) {
+	cfg := immediate()
+	cfg.ProportionalConfidence = true
+	a := New(cfg)
+	for i := 0; i < 100; i++ {
+		v := 1.0
+		if i%2 == 0 {
+			v = 1e9
+		}
+		a.OnMiss(0x400, value.FromFloat(v))
+	}
+	conf, ok := a.EntryConfidence(0x400)
+	if !ok || conf < cfg.ConfMin() {
+		t.Fatalf("confidence must floor at %d, got %d", cfg.ConfMin(), conf)
+	}
+}

@@ -1,0 +1,152 @@
+// Package dram models main memory for the full-system simulator: a
+// multi-bank DRAM with per-bank row buffers and a shared channel. The
+// paper's Table II gives a flat 160-cycle main-memory latency; this model
+// reproduces that as the row-miss (activate + column) latency while letting
+// row-buffer hits return faster and bank conflicts queue, which is what
+// couples the cores once LVA changes the fetch stream.
+package dram
+
+import "fmt"
+
+// Config describes the memory device.
+type Config struct {
+	// Banks is the number of independent banks.
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// RowHitCycles is the access latency on a row-buffer hit (column
+	// access only).
+	RowHitCycles uint64
+	// RowMissCycles is the access latency on a row-buffer miss
+	// (precharge + activate + column). Table II's 160-cycle figure.
+	RowMissCycles uint64
+	// ChannelOccupancy is the data-bus busy time per 64 B transfer.
+	ChannelOccupancy uint64
+	// BankOccupancy is the bank busy time per access.
+	BankOccupancy uint64
+}
+
+// DefaultConfig returns a device calibrated to the paper's 160-cycle
+// main-memory latency (row miss) with a 2:1 row-hit advantage.
+func DefaultConfig() Config {
+	return Config{
+		Banks:            8,
+		RowBytes:         2048,
+		RowHitCycles:     60,
+		RowMissCycles:    160,
+		ChannelOccupancy: 8,
+		BankOccupancy:    24,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0 || c.Banks&(c.Banks-1) != 0:
+		return fmt.Errorf("dram: banks must be a positive power of two, got %d", c.Banks)
+	case c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram: row size must be a positive power of two, got %d", c.RowBytes)
+	case c.RowHitCycles == 0 || c.RowMissCycles == 0:
+		return fmt.Errorf("dram: latencies must be positive")
+	case c.RowHitCycles > c.RowMissCycles:
+		return fmt.Errorf("dram: row hit (%d) cannot be slower than row miss (%d)",
+			c.RowHitCycles, c.RowMissCycles)
+	}
+	return nil
+}
+
+// Stats counts device events.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// HitRate returns the row-buffer hit fraction.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+type bank struct {
+	openRow  uint64
+	hasRow   bool
+	busyTill uint64
+}
+
+// DRAM is the device model. Not safe for concurrent use. Requests must
+// arrive in approximately nondecreasing time order (the full-system
+// scheduler guarantees this) for the occupancy model to be meaningful.
+type DRAM struct {
+	cfg      Config
+	banks    []bank
+	chanFree uint64
+	rowShift uint
+	stats    Stats
+}
+
+// New builds a device; it panics on an invalid Config.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.RowBytes {
+		shift++
+	}
+	return &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks), rowShift: shift}
+}
+
+// Config returns the device configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of the counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+func (d *DRAM) decode(addr uint64) (bankIdx int, row uint64) {
+	row = addr >> d.rowShift
+	// Interleave rows across banks so streaming accesses spread out.
+	return int(row % uint64(d.cfg.Banks)), row
+}
+
+// Access performs a 64 B read or write beginning no earlier than `now` and
+// returns its completion time. Row-buffer state, bank occupancy and channel
+// occupancy all apply.
+func (d *DRAM) Access(addr uint64, now uint64) uint64 {
+	d.stats.Accesses++
+	bi, row := d.decode(addr)
+	b := &d.banks[bi]
+
+	start := now
+	if b.busyTill > start {
+		start = b.busyTill
+	}
+	if d.chanFree > start {
+		start = d.chanFree
+	}
+
+	var lat uint64
+	if b.hasRow && b.openRow == row {
+		d.stats.RowHits++
+		lat = d.cfg.RowHitCycles
+	} else {
+		d.stats.RowMisses++
+		lat = d.cfg.RowMissCycles
+		b.openRow, b.hasRow = row, true
+	}
+
+	b.busyTill = start + d.cfg.BankOccupancy
+	d.chanFree = start + d.cfg.ChannelOccupancy
+	return start + lat
+}
+
+// Reset clears all row buffers, occupancy state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.banks {
+		d.banks[i] = bank{}
+	}
+	d.chanFree = 0
+	d.stats = Stats{}
+}

@@ -1,0 +1,152 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Banks: 0, RowBytes: 2048, RowHitCycles: 1, RowMissCycles: 2},
+		{Banks: 3, RowBytes: 2048, RowHitCycles: 1, RowMissCycles: 2},
+		{Banks: 8, RowBytes: 1000, RowHitCycles: 1, RowMissCycles: 2},
+		{Banks: 8, RowBytes: 2048, RowHitCycles: 0, RowMissCycles: 2},
+		{Banks: 8, RowBytes: 2048, RowHitCycles: 5, RowMissCycles: 2},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on invalid config")
+		}
+	}()
+	New(Config{})
+}
+
+func TestColdAccessIsRowMiss(t *testing.T) {
+	d := New(DefaultConfig())
+	done := d.Access(0x1000, 100)
+	if done != 100+d.Config().RowMissCycles {
+		t.Fatalf("cold access done at %d", done)
+	}
+	st := d.Stats()
+	if st.RowMisses != 1 || st.RowHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRowBufferHit(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0x1000, 0)
+	// Same row, later in time (past occupancy): a row hit.
+	done := d.Access(0x1040, 1000)
+	if done != 1000+d.Config().RowHitCycles {
+		t.Fatalf("row hit done at %d", done)
+	}
+	if d.Stats().RowHits != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	d.Access(0x0, 0)
+	// Same bank, different row: banks interleave by row, so row+Banks
+	// lands on the same bank.
+	conflictAddr := uint64(cfg.RowBytes * cfg.Banks)
+	done := d.Access(conflictAddr, 1000)
+	if done != 1000+cfg.RowMissCycles {
+		t.Fatalf("conflict done at %d", done)
+	}
+	if d.Stats().RowMisses != 2 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestBankOccupancyQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	first := d.Access(0x0, 0)
+	// Immediate second access to the same bank must start after the bank
+	// occupancy, not at time 0.
+	second := d.Access(0x40, 0)
+	if second <= first-cfg.RowMissCycles+cfg.RowHitCycles {
+		t.Fatalf("second access did not queue: %d vs %d", second, first)
+	}
+}
+
+func TestChannelSharedAcrossBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	d.Access(0x0, 0) // bank 0
+	// Different bank, same instant: must wait for the shared channel.
+	done := d.Access(uint64(cfg.RowBytes), 0) // row 1 -> bank 1
+	if done != cfg.ChannelOccupancy+cfg.RowMissCycles {
+		t.Fatalf("cross-bank access done at %d, want %d",
+			done, cfg.ChannelOccupancy+cfg.RowMissCycles)
+	}
+}
+
+func TestStreamingGetsRowHits(t *testing.T) {
+	d := New(DefaultConfig())
+	now := uint64(0)
+	for i := 0; i < 32; i++ { // 32 x 64B = one row
+		now = d.Access(uint64(i*64), now)
+	}
+	st := d.Stats()
+	if st.RowHits < 25 {
+		t.Fatalf("streaming should mostly row-hit: %+v", st)
+	}
+	if st.HitRate() < 0.75 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestCompletionNeverBeforeRequest(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint8) bool {
+		d := New(DefaultConfig())
+		now := uint64(0)
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			done := d.Access(uint64(a)*64, now)
+			if done < now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0x1000, 0)
+	d.Reset()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("Reset must clear stats")
+	}
+	done := d.Access(0x1000, 0)
+	if done != d.Config().RowMissCycles {
+		t.Fatalf("post-reset access must be a cold row miss, done at %d", done)
+	}
+}
+
+func TestZeroStatsHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate must be 0")
+	}
+}

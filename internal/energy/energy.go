@@ -1,0 +1,74 @@
+// Package energy provides the dynamic-energy model for the full-system
+// simulator. The paper uses CACTI 5.1 at 32 nm to obtain per-access dynamic
+// energies for the caches, main memory and the approximator tables (§V-B);
+// we use representative per-event constants of the same magnitudes, so the
+// energy *ratios* the paper reports are preserved. The approximator-table
+// overhead is charged explicitly on every approximator access.
+package energy
+
+// Model holds per-event dynamic energies in picojoules.
+type Model struct {
+	// L1Access is one 16 KB L1 read/write.
+	L1Access float64
+	// L2Access is one 512 KB L2-bank read/write.
+	L2Access float64
+	// DRAMAccess is one 64 B main-memory access.
+	DRAMAccess float64
+	// FlitHop is one flit traversing one router+link.
+	FlitHop float64
+	// LowPowerFlitHop is one flit traversing the deprioritized low-power
+	// lane used for training fetches (§VI-C: LVA tolerates high value
+	// delay, so approximated blocks can take slow, energy-efficient paths).
+	LowPowerFlitHop float64
+	// ApproxAccess is one approximator-table lookup or training write
+	// (a ~18 KB direct-mapped SRAM, §VII-A).
+	ApproxAccess float64
+}
+
+// Default32nm returns per-event energies representative of the paper's
+// 32 nm CACTI configuration.
+func Default32nm() Model {
+	return Model{
+		L1Access:        10,
+		L2Access:        60,
+		DRAMAccess:      15000,
+		FlitHop:         6,
+		LowPowerFlitHop: 2,
+		ApproxAccess:    8,
+	}
+}
+
+// Tally accumulates event counts and reports total dynamic energy.
+type Tally struct {
+	Model Model
+
+	L1Accesses       uint64
+	L2Accesses       uint64
+	DRAMAccesses     uint64
+	FlitHops         uint64
+	LowPowerFlitHops uint64
+	ApproxAccesses   uint64
+}
+
+// NewTally returns a tally using the given model.
+func NewTally(m Model) *Tally { return &Tally{Model: m} }
+
+// TotalPJ returns the total dynamic energy in picojoules.
+func (t *Tally) TotalPJ() float64 {
+	return float64(t.L1Accesses)*t.Model.L1Access +
+		float64(t.L2Accesses)*t.Model.L2Access +
+		float64(t.DRAMAccesses)*t.Model.DRAMAccess +
+		float64(t.FlitHops)*t.Model.FlitHop +
+		float64(t.LowPowerFlitHops)*t.Model.LowPowerFlitHop +
+		float64(t.ApproxAccesses)*t.Model.ApproxAccess
+}
+
+// FetchPathPJ returns the energy spent beyond the L1 — the L2, DRAM and NoC
+// energy that servicing (or eliding) block fetches controls. This is the
+// energy component the paper's L1-miss EDP metric tracks (Figure 11).
+func (t *Tally) FetchPathPJ() float64 {
+	return float64(t.L2Accesses)*t.Model.L2Access +
+		float64(t.DRAMAccesses)*t.Model.DRAMAccess +
+		float64(t.FlitHops)*t.Model.FlitHop +
+		float64(t.LowPowerFlitHops)*t.Model.LowPowerFlitHop
+}

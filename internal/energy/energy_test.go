@@ -1,0 +1,55 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalPJ(t *testing.T) {
+	m := Model{L1Access: 1, L2Access: 10, DRAMAccess: 100, FlitHop: 0.5, ApproxAccess: 2}
+	tl := NewTally(m)
+	tl.L1Accesses = 4
+	tl.L2Accesses = 3
+	tl.DRAMAccesses = 2
+	tl.FlitHops = 10
+	tl.ApproxAccesses = 5
+	want := 4*1.0 + 3*10 + 2*100 + 10*0.5 + 5*2
+	if got := tl.TotalPJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TotalPJ = %v, want %v", got, want)
+	}
+}
+
+func TestFetchPathExcludesL1AndApproximator(t *testing.T) {
+	m := Model{L1Access: 1000, L2Access: 1, DRAMAccess: 1, FlitHop: 1, ApproxAccess: 1000}
+	tl := NewTally(m)
+	tl.L1Accesses = 7
+	tl.ApproxAccesses = 7
+	tl.L2Accesses = 1
+	tl.DRAMAccesses = 1
+	tl.FlitHops = 1
+	if got := tl.FetchPathPJ(); got != 3 {
+		t.Fatalf("FetchPathPJ = %v, want 3 (L1/approximator excluded)", got)
+	}
+}
+
+func TestDefault32nmOrdering(t *testing.T) {
+	m := Default32nm()
+	// Sanity: the hierarchy's energy ordering must hold (L1 < L2 << DRAM)
+	// and the approximator must be cheap SRAM-scale.
+	if !(m.L1Access < m.L2Access && m.L2Access < m.DRAMAccess) {
+		t.Fatalf("energy ordering broken: %+v", m)
+	}
+	if m.ApproxAccess >= m.L2Access {
+		t.Fatalf("approximator must be cheaper than an L2 access: %+v", m)
+	}
+	if m.FlitHop <= 0 {
+		t.Fatal("flit-hop energy must be positive")
+	}
+}
+
+func TestZeroTally(t *testing.T) {
+	tl := NewTally(Default32nm())
+	if tl.TotalPJ() != 0 || tl.FetchPathPJ() != 0 {
+		t.Fatal("empty tally must be zero energy")
+	}
+}

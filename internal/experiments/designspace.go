@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lva/internal/core"
+	"lva/internal/workloads"
+)
+
+// ghbSizes are the history depths of Figures 4 and 5.
+var ghbSizes = []int{0, 1, 2, 4}
+
+// normalizedMPKI divides effective MPKI by the precise run's MPKI.
+func normalizedMPKI(run, precise RunResult) float64 {
+	p := precise.Sim.RawMPKI()
+	if p == 0 {
+		return 0
+	}
+	return run.Sim.EffectiveMPKI() / p
+}
+
+// mpkiValues converts a row of runs into normalized-MPKI values.
+func mpkiValues(runs, precise []RunResult) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = normalizedMPKI(runs[i], precise[i])
+	}
+	return out
+}
+
+// errorValues converts a row of runs into output-error values.
+func errorValues(runs, precise []RunResult) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = ErrorVs(runs[i], precise[i])
+	}
+	return out
+}
+
+// fetchValues converts a row of runs into normalized fetch counts.
+func fetchValues(runs, precise []RunResult) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = float64(runs[i].Sim.Fetches) / float64(precise[i].Sim.Fetches)
+	}
+	return out
+}
+
+// Fig4 reproduces Figure 4: normalized MPKI of LVA vs. an idealized LVP for
+// GHB sizes 0, 1, 2 and 4. Expected shape: LVA achieves lower MPKI than LVP
+// on average (no exact-match requirement), and MPKI tends to rise with GHB
+// size for floating-point-heavy workloads (hash dispersion).
+func Fig4() *Figure {
+	f := &Figure{
+		ID:         "fig4",
+		Title:      "LVA vs. idealized LVP for different GHB sizes",
+		ValueUnit:  "normalized MPKI (lower is better)",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, g := range ghbSizes {
+		g := g
+		runs := lvpRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.GHBSize = g
+			return cfg
+		})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVP-GHB-%d", g), Values: mpkiValues(runs, precise)})
+	}
+	for _, g := range ghbSizes {
+		g := g
+		runs := lvaRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.GHBSize = g
+			return cfg
+		})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVA-GHB-%d", g), Values: mpkiValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes, "paper: LVA achieves lower normalized MPKI than idealized LVP on average; MPKI tends to increase with GHB size")
+	return f
+}
+
+// Fig5 reproduces Figure 5: output error of LVA for different GHB sizes.
+// Expected shape: error around or below 10% for all applications except
+// ferret (whose metric is pessimistic), near zero for swaptions and x264.
+func Fig5() *Figure {
+	f := &Figure{
+		ID:         "fig5",
+		Title:      "Output error of LVA for different GHB sizes",
+		ValueUnit:  "output error (fraction)",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, g := range ghbSizes {
+		g := g
+		runs := lvaRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.GHBSize = g
+			return cfg
+		})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("GHB-%d", g), Values: errorValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes, "paper: error ~<=10% everywhere but ferret; near-zero for swaptions and x264")
+	return f
+}
+
+// confidenceWindows are the relaxed windows of Figure 6; 0 is the paper's
+// "0% (ideal LVP)" series and -1 its "infinite" window.
+var confidenceWindows = []float64{0, 0.05, 0.10, 0.20, -1}
+
+func windowLabel(w float64) string {
+	switch {
+	case w == 0:
+		return "0% (ideal LVP)"
+	case w < 0:
+		return "infinite"
+	default:
+		return fmt.Sprintf("%.0f%%", w*100)
+	}
+}
+
+// Fig6 reproduces Figure 6: MPKI (a) and output error (b) across relaxed
+// confidence windows. Both integer and floating-point data employ
+// confidence here, per the paper. Expected shape: wider windows reduce
+// MPKI monotonically and raise error.
+func Fig6() *Figure {
+	f := &Figure{
+		ID:         "fig6",
+		Title:      "Performance and error for varying confidence windows",
+		ValueUnit:  "normalized MPKI / error fraction",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, win := range confidenceWindows {
+		win := win
+		var runs []RunResult
+		if win == 0 {
+			runs = lvpRow(func(workloads.Workload) core.Config {
+				return core.DefaultConfig()
+			})
+		} else {
+			runs = lvaRow(func(workloads.Workload) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.Window = win
+				cfg.IntConfidence = true // both data kinds use confidence here
+				return cfg
+			})
+		}
+		f.Rows = append(f.Rows,
+			Row{Label: "MPKI " + windowLabel(win), Values: mpkiValues(runs, precise)},
+			Row{Label: "error " + windowLabel(win), Values: errorValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes, "paper: relaxing the window lowers MPKI and raises error; x264 sees big MPKI cuts at near-zero error; ferret error grows with relaxation")
+	return f
+}
+
+// valueDelays are the staleness assumptions of Figure 7.
+var valueDelays = []int{4, 8, 16, 32}
+
+// Fig7 reproduces Figure 7: MPKI (a) and output error (b) across value
+// delays. Expected shape: LVA is resilient — neither MPKI nor error moves
+// much, except canneal's error (its swapped coordinates are
+// inter-dependent) and coverage collapse for very stale blackscholes.
+func Fig7() *Figure {
+	f := &Figure{
+		ID:         "fig7",
+		Title:      "Performance and error for varying value delays",
+		ValueUnit:  "normalized MPKI / error fraction",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, d := range valueDelays {
+		d := d
+		runs := lvaRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.ValueDelay = d
+			return cfg
+		})
+		f.Rows = append(f.Rows,
+			Row{Label: fmt.Sprintf("MPKI delay-%d", d), Values: mpkiValues(runs, precise)},
+			Row{Label: fmt.Sprintf("error delay-%d", d), Values: errorValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes, "paper: value delay has little impact on MPKI or error for all benchmarks except canneal's error")
+	return f
+}
+
+// degrees are the approximation/prefetch degrees of Figures 8 and 9.
+var degrees = []int{2, 4, 8, 16}
+
+// Fig8 reproduces Figure 8: normalized MPKI (a) and normalized fetches (b)
+// for prefetch degrees vs. approximation degrees. Expected shape:
+// prefetching cuts MPKI while inflating fetches (up to ~1.7x at degree 16);
+// LVA cuts both (fetch reduction ~39% at degree 16); canneal defeats the
+// prefetcher entirely.
+func Fig8() *Figure {
+	f := &Figure{
+		ID:         "fig8",
+		Title:      "MPKI and fetches for varying approximation and prefetch degrees",
+		ValueUnit:  "normalized MPKI / normalized fetches",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, d := range degrees {
+		runs := prefetchRow(d)
+		f.Rows = append(f.Rows,
+			Row{Label: fmt.Sprintf("MPKI prefetch-%d", d), Values: mpkiValues(runs, precise)},
+			Row{Label: fmt.Sprintf("fetches prefetch-%d", d), Values: fetchValues(runs, precise)})
+	}
+	for _, d := range degrees {
+		d := d
+		runs := lvaRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.Degree = d
+			return cfg
+		})
+		f.Rows = append(f.Rows,
+			Row{Label: fmt.Sprintf("MPKI approx-%d", d), Values: mpkiValues(runs, precise)},
+			Row{Label: fmt.Sprintf("fetches approx-%d", d), Values: fetchValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes,
+		"paper: prefetch-16 increases fetched blocks by ~73% on average while LVA-16 reduces them by ~39%",
+		"paper: canneal's random access defeats the prefetcher (no MPKI reduction at any degree)")
+	return f
+}
+
+// Fig9 reproduces Figure 9: LVA output error for approximation degrees
+// 0..16. Expected shape: error grows with degree (less frequent training).
+func Fig9() *Figure {
+	f := &Figure{
+		ID:         "fig9",
+		Title:      "LVA output error with different approximation degrees",
+		ValueUnit:  "output error (fraction)",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	for _, d := range append([]int{0}, degrees...) {
+		d := d
+		runs := lvaRow(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.Degree = d
+			return cfg
+		})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("approx-%d", d), Values: errorValues(runs, precise)})
+	}
+	f.Notes = append(f.Notes, "paper: higher approximation degree trains less often and increases output error")
+	return f
+}
+
+// Fig12 reproduces Figure 12: the number of static (distinct) PC values
+// that access approximate data. Expected shape: small counts everywhere
+// (the paper's max is ~300, for x264), motivating small approximator
+// tables.
+func Fig12() *Figure {
+	f := &Figure{
+		ID:         "fig12",
+		Title:      "Number of static (distinct) PCs issuing approximate loads",
+		ValueUnit:  "count",
+		Benchmarks: workloads.Names(),
+	}
+	runs := lvaRow(BaselineFor)
+	row := Row{Label: "static approx load PCs"}
+	for _, r := range runs {
+		row.Values = append(row.Values, float64(r.Sim.StaticPCs))
+	}
+	f.Rows = []Row{row}
+	f.Notes = append(f.Notes, "paper: at most ~300 static approximate loads (x264); small tables suffice")
+	return f
+}
+
+// mantissaLosses are the precision reductions of Figure 13.
+var mantissaLosses = []int{0, 5, 11, 17, 23}
+
+// Fig13 reproduces Figure 13: fluidanimate's normalized MPKI as
+// floating-point mantissa bits are dropped from the approximator's history
+// (GHB size 2, confidence disabled). Expected shape: MPKI falls as bits
+// are removed (better value locality in the hash).
+func Fig13() *Figure {
+	fl := workloads.NewFluidanimate()
+	f := &Figure{
+		ID:         "fig13",
+		Title:      "fluidanimate MPKI vs. floating-point precision loss (GHB 2, confidence off)",
+		ValueUnit:  "normalized MPKI",
+		Benchmarks: []string{fl.Name()},
+	}
+	precise := Precise(fl)
+	for _, bits := range mantissaLosses {
+		cfg := core.DefaultConfig()
+		cfg.GHBSize = 2
+		cfg.Window = -1 // confidence disabled (never rejects)
+		cfg.MantissaLoss = bits
+		run := RunLVA(fl, cfg, DefaultSeed)
+		f.Rows = append(f.Rows, Row{
+			Label:  fmt.Sprintf("loss-%d bits", bits),
+			Values: []float64{normalizedMPKI(run, precise)},
+		})
+	}
+	f.Notes = append(f.Notes, "paper: removing mantissa bits improves hash value locality, so MPKI goes down; error stays ~10%")
+	return f
+}
+
+// Fig1 reproduces Figure 1 quantitatively: bodytrack's output under precise
+// vs. approximate execution. The examples/vision program renders the actual
+// images; here we report the per-frame trajectory deviation (the paper
+// quotes 7.7% output error for its rendering).
+func Fig1() *Figure {
+	bt := workloads.NewBodytrack()
+	f := &Figure{
+		ID:         "fig1",
+		Title:      "bodytrack output: precise vs. LVA (trajectory deviation)",
+		ValueUnit:  "fraction of image diagonal",
+		Benchmarks: []string{bt.Name()},
+	}
+	precise := Precise(bt)
+	run := RunLVA(bt, BaselineFor(bt), DefaultSeed)
+	f.Rows = append(f.Rows, Row{Label: "output error", Values: []float64{ErrorVs(run, precise)}})
+	f.Rows = append(f.Rows, Row{Label: "coverage", Values: []float64{run.Sim.Coverage()}})
+	f.Notes = append(f.Notes, "run examples/vision to render the precise and approximate tracking overlays as PGM images")
+	return f
+}

@@ -1,0 +1,81 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (§VI), plus the shared harness that runs a workload kernel
+// under a given memory-hierarchy configuration and measures MPKI, fetches
+// and final output error exactly as the paper's two-phase methodology does.
+package experiments
+
+import (
+	"lva/internal/core"
+	"lva/internal/memsim"
+	"lva/internal/prefetch"
+	"lva/internal/workloads"
+)
+
+// DefaultSeed makes every experiment deterministic end-to-end.
+const DefaultSeed uint64 = 42
+
+// RunResult bundles one simulated execution of a kernel.
+type RunResult struct {
+	Output workloads.Output
+	Sim    memsim.Result
+}
+
+// RunPrecise executes the kernel with no approximation attached: the
+// baseline against which MPKI is normalized and output error measured.
+func RunPrecise(w workloads.Workload, seed uint64) RunResult {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachNone
+	return runWith(w, cfg, seed)
+}
+
+// RunLVA executes the kernel with a load value approximator built from
+// coreCfg attached to the L1.
+func RunLVA(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachLVA
+	cfg.Approx = coreCfg
+	return runWith(w, cfg, seed)
+}
+
+// RunLVP executes the kernel with the idealized load value predictor
+// baseline (exact-match coverage, always fetch).
+func RunLVP(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachLVP
+	cfg.Approx = coreCfg
+	return runWith(w, cfg, seed)
+}
+
+// RunPrefetch executes the kernel with the GHB prefetcher at the given
+// degree (applied to all data, as in the paper).
+func RunPrefetch(w workloads.Workload, degree int, seed uint64) RunResult {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachPrefetch
+	p := prefetch.DefaultConfig()
+	p.Degree = degree
+	cfg.Prefetch = p
+	return runWith(w, cfg, seed)
+}
+
+func runWith(w workloads.Workload, cfg memsim.Config, seed uint64) RunResult {
+	sim := memsim.New(cfg)
+	out := w.Run(sim, seed)
+	return RunResult{Output: out, Sim: sim.Result()}
+}
+
+// BaselineFor returns the paper's Table II approximator configuration,
+// with the confidence window applied only to floating-point data: the
+// baseline uses a ±10% window for FP and no confidence for integers.
+func BaselineFor(w workloads.Workload) core.Config {
+	cfg := core.DefaultConfig()
+	if !w.FloatData() {
+		cfg.IntConfidence = false
+	}
+	return cfg
+}
+
+// ErrorVs computes the paper's output-error metric for an approximate run
+// against the precise run of the same kernel and seed.
+func ErrorVs(approx, precise RunResult) float64 {
+	return approx.Output.Error(precise.Output)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"lva/internal/core"
+	"lva/internal/workloads"
+)
+
+// Parallelism bounds how many workload simulations run concurrently in the
+// experiment drivers and RunSweep. Each simulation is independent (its own
+// simulator and approximator state), so results are deterministic
+// regardless of this setting. Defaults to the machine's parallelism.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// forEachWorkload runs fn once per benchmark, concurrently (bounded by
+// Parallelism), passing the benchmark's index in workloads.All() order.
+// It returns when all have finished.
+func forEachWorkload(fn func(i int, w workloads.Workload)) {
+	ws := workloads.All()
+	sem := make(chan struct{}, max(1, Parallelism))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w workloads.Workload) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i, w)
+		}(i, w)
+	}
+	wg.Wait()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lvaRow runs cfgFor(w) under LVA for every benchmark concurrently and
+// returns the per-benchmark results in registry order.
+func lvaRow(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	forEachWorkload(func(i int, w workloads.Workload) {
+		out[i] = RunLVA(w, cfgFor(w), DefaultSeed)
+	})
+	return out
+}
+
+// lvpRow is lvaRow for the idealized LVP baseline.
+func lvpRow(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	forEachWorkload(func(i int, w workloads.Workload) {
+		out[i] = RunLVP(w, cfgFor(w), DefaultSeed)
+	})
+	return out
+}
+
+// prefetchRow runs the GHB prefetcher at one degree for every benchmark.
+func prefetchRow(degree int) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	forEachWorkload(func(i int, w workloads.Workload) {
+		out[i] = RunPrefetch(w, degree, DefaultSeed)
+	})
+	return out
+}
+
+// preciseAll warms the precise-run cache for every benchmark concurrently
+// and returns the results in registry order.
+func preciseAll() []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	forEachWorkload(func(i int, w workloads.Workload) {
+		out[i] = Precise(w)
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the figure as comma-separated values: a header of benchmark
+// columns and one row per series, ending with the mean.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{"series"}, f.Benchmarks...)
+	header = append(header, "mean")
+	_ = w.Write(header)
+	for _, r := range f.Rows {
+		rec := []string{r.Label}
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		rec = append(rec, strconv.FormatFloat(r.Mean(), 'g', 6, 64))
+		_ = w.Write(rec)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// jsonFigure is the serialized form of a Figure.
+type jsonFigure struct {
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	ValueUnit  string             `json:"value_unit"`
+	Benchmarks []string           `json:"benchmarks"`
+	Series     []jsonSeries       `json:"series"`
+	Notes      []string           `json:"notes,omitempty"`
+	Means      map[string]float64 `json:"means"`
+}
+
+type jsonSeries struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// JSON renders the figure as an indented JSON document.
+func (f *Figure) JSON() (string, error) {
+	jf := jsonFigure{
+		ID:         f.ID,
+		Title:      f.Title,
+		ValueUnit:  f.ValueUnit,
+		Benchmarks: f.Benchmarks,
+		Notes:      f.Notes,
+		Means:      map[string]float64{},
+	}
+	for _, r := range f.Rows {
+		jf.Series = append(jf.Series, jsonSeries{Label: r.Label, Values: r.Values})
+		jf.Means[r.Label] = r.Mean()
+	}
+	out, err := json.MarshalIndent(jf, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshaling %s: %w", f.ID, err)
+	}
+	return string(out), nil
+}
+
+// Markdown renders the figure as a GitHub-flavoured Markdown table with a
+// trailing mean column (used by cmd/lvareport).
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| series |")
+	for _, bench := range f.Benchmarks {
+		fmt.Fprintf(&b, " %s |", bench)
+	}
+	b.WriteString(" mean |\n|---|")
+	for range f.Benchmarks {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %.3f |", v)
+		}
+		fmt.Fprintf(&b, " %.3f |\n", r.Mean())
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Chart renders the figure as grouped horizontal ASCII bars — the closest
+// terminal analogue of the paper's bar charts. Bars are scaled to the
+// figure's maximum value.
+func (f *Figure) Chart() string {
+	const width = 46
+	max := 0.0
+	for _, r := range f.Rows {
+		for _, v := range r.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, r := range f.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", f.ID, f.Title, f.ValueUnit)
+	for bi, bench := range f.Benchmarks {
+		fmt.Fprintf(&b, "%s\n", bench)
+		for _, r := range f.Rows {
+			if bi >= len(r.Values) {
+				continue
+			}
+			v := r.Values[bi]
+			n := int(v / max * width)
+			if n < 0 {
+				n = 0
+			}
+			if v > 0 && n == 0 {
+				n = 1 // visible sliver for tiny non-zero values
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.3f\n", labelW, r.Label, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "figX", Title: "sample", ValueUnit: "u",
+		Benchmarks: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "s1", Values: []float64{1, 2}},
+			{Label: "s2", Values: []float64{0.5, 0}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	out := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "series,a,b,mean" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "s1,1,2,1.5") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	out, err := sampleFigure().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["id"] != "figX" {
+		t.Fatalf("id = %v", decoded["id"])
+	}
+	means, ok := decoded["means"].(map[string]any)
+	if !ok || means["s1"] != 1.5 {
+		t.Fatalf("means = %v", decoded["means"])
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	out := sampleFigure().Chart()
+	for _, want := range []string{"figX", "a\n", "b\n", "s1", "s2", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value (2) gets the longest bar; zero gets none.
+	lines := strings.Split(out, "\n")
+	var barLens []int
+	for _, l := range lines {
+		if i := strings.IndexByte(l, '|'); i >= 0 {
+			barLens = append(barLens, strings.Count(l[i:], "#"))
+		}
+	}
+	if len(barLens) != 4 {
+		t.Fatalf("bars = %d", len(barLens))
+	}
+	// Order: a/s1(1), a/s2(0.5), b/s1(2), b/s2(0).
+	if !(barLens[2] > barLens[0] && barLens[0] > barLens[1] && barLens[3] == 0) {
+		t.Fatalf("bar scaling wrong: %v", barLens)
+	}
+}
+
+func TestChartTinyNonZeroVisible(t *testing.T) {
+	f := &Figure{
+		ID: "f", Benchmarks: []string{"x"},
+		Rows: []Row{{Label: "r", Values: []float64{0.0001}}, {Label: "big", Values: []float64{100}}},
+	}
+	out := f.Chart()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "r ") && strings.Contains(l, "|") {
+			if !strings.Contains(l, "#") {
+				t.Fatalf("tiny non-zero value must render a sliver: %q", l)
+			}
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	out := sampleFigure().Markdown()
+	if !strings.Contains(out, "| series | a | b | mean |") {
+		t.Fatalf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| s1 | 1.000 | 2.000 | 1.500 |") {
+		t.Fatalf("markdown row missing:\n%s", out)
+	}
+}
+
+func TestEmptyFigureRendering(t *testing.T) {
+	f := &Figure{ID: "empty"}
+	if f.CSV() == "" || f.Chart() == "" || f.Markdown() == "" {
+		t.Fatal("empty figures must still render headers")
+	}
+	if _, err := f.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

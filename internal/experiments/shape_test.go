@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Shape tests: run the main experiment drivers end to end and assert the
+// qualitative claims the paper makes (and EXPERIMENTS.md records). These
+// are the repository's regression net for "does the reproduction still
+// reproduce" — each takes seconds, so they are skipped under -short.
+
+func shortSkip(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	shortSkip(t)
+	f := Table1()
+	mpki, _ := f.Row("precise L1 MPKI")
+	// Calibration bands around the paper's Table I values.
+	paper := map[string]struct{ lo, hi float64 }{
+		"blackscholes": {0.7, 1.2},
+		"bodytrack":    {3.9, 6.5},
+		"canneal":      {10.0, 15.0},
+		"ferret":       {2.6, 4.1},
+		"fluidanimate": {0.9, 1.6},
+		"swaptions":    {0.0, 0.05},
+		"x264":         {0.4, 0.85},
+	}
+	for i, bench := range f.Benchmarks {
+		band := paper[bench]
+		if mpki.Values[i] < band.lo || mpki.Values[i] > band.hi {
+			t.Errorf("%s precise MPKI %.3f outside calibration band [%.2f, %.2f]",
+				bench, mpki.Values[i], band.lo, band.hi)
+		}
+	}
+	vari, _ := f.Row("inst count variation %")
+	for i, v := range vari.Values {
+		if v > 3 {
+			t.Errorf("%s instruction variation %.2f%% exceeds the paper's ceiling", f.Benchmarks[i], v)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig4()
+	lva, _ := f.Row("LVA-GHB-0")
+	lvp, _ := f.Row("LVP-GHB-0")
+	// Headline: LVA beats the idealized LVP on average.
+	if lva.Mean() >= lvp.Mean() {
+		t.Fatalf("LVA mean %.3f must beat idealized LVP mean %.3f", lva.Mean(), lvp.Mean())
+	}
+	// canneal: approximate-but-never-exact integer data — LVA wins big.
+	lvaCan, _ := f.Value("LVA-GHB-0", "canneal")
+	lvpCan, _ := f.Value("LVP-GHB-0", "canneal")
+	if lvaCan > 0.5 || lvpCan < 0.8 {
+		t.Errorf("canneal: LVA %.3f / LVP %.3f lost the paper's contrast", lvaCan, lvpCan)
+	}
+	// MPKI rises (or stays flat) with GHB size on average for LVA.
+	lva4, _ := f.Row("LVA-GHB-4")
+	if lva4.Mean() < lva.Mean() {
+		t.Errorf("LVA mean MPKI must not improve with GHB size: %.3f -> %.3f", lva.Mean(), lva4.Mean())
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig5()
+	for _, row := range f.Rows {
+		for i, bench := range f.Benchmarks {
+			limit := 0.12
+			if bench == "ferret" {
+				limit = 0.45 // the paper's pessimistic outlier
+			}
+			if row.Values[i] > limit {
+				t.Errorf("%s %s error %.3f above the paper's envelope", row.Label, bench, row.Values[i])
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig6()
+	// Wider windows: MPKI monotonically non-increasing, error non-decreasing
+	// (on the mean).
+	order := []string{"0% (ideal LVP)", "5%", "10%", "20%", "infinite"}
+	var prevMPKI, prevErr float64
+	for i, label := range order {
+		m, _ := f.Row("MPKI " + label)
+		e, _ := f.Row("error " + label)
+		if i > 0 {
+			if m.Mean() > prevMPKI+0.02 {
+				t.Errorf("mean MPKI rose when relaxing window to %s: %.3f -> %.3f", label, prevMPKI, m.Mean())
+			}
+			if e.Mean() < prevErr-0.02 {
+				t.Errorf("mean error fell when relaxing window to %s: %.3f -> %.3f", label, prevErr, e.Mean())
+			}
+		}
+		prevMPKI, prevErr = m.Mean(), e.Mean()
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig7()
+	m4, _ := f.Row("MPKI delay-4")
+	m32, _ := f.Row("MPKI delay-32")
+	if diff := m32.Mean() - m4.Mean(); diff > 0.05 || diff < -0.05 {
+		t.Errorf("value delay must barely move MPKI: %.3f vs %.3f", m4.Mean(), m32.Mean())
+	}
+	e4, _ := f.Row("error delay-4")
+	e32, _ := f.Row("error delay-32")
+	if diff := e32.Mean() - e4.Mean(); diff > 0.03 || diff < -0.03 {
+		t.Errorf("value delay must barely move error: %.3f vs %.3f", e4.Mean(), e32.Mean())
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig8()
+	pf16, _ := f.Row("fetches prefetch-16")
+	ap16, _ := f.Row("fetches approx-16")
+	if pf16.Mean() <= 1.2 {
+		t.Errorf("prefetch-16 must inflate fetches, got %.3f", pf16.Mean())
+	}
+	if ap16.Mean() >= 0.95 {
+		t.Errorf("approx-16 must reduce fetches, got %.3f", ap16.Mean())
+	}
+	// canneal defeats the prefetcher.
+	cm, _ := f.Value("MPKI prefetch-16", "canneal")
+	cf, _ := f.Value("fetches prefetch-16", "canneal")
+	if cm < 0.9 || cf < 3 {
+		t.Errorf("canneal must defeat the prefetcher: MPKI %.3f, fetches %.3f", cm, cf)
+	}
+	// ...while LVA slashes its fetches.
+	cfA, _ := f.Value("fetches approx-16", "canneal")
+	if cfA > 0.4 {
+		t.Errorf("LVA-16 must slash canneal fetches, got %.3f", cfA)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig9()
+	var prev float64 = -1
+	for _, label := range []string{"approx-0", "approx-2", "approx-4", "approx-8", "approx-16"} {
+		r, _ := f.Row(label)
+		if r.Mean() < prev-0.01 {
+			t.Errorf("mean error must grow with degree: %s fell to %.3f from %.3f", label, r.Mean(), prev)
+		}
+		prev = r.Mean()
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig10()
+	s0, _ := f.Row("speedup approx-0")
+	// Paper: 8.5% mean speedup; accept a broad band around it.
+	if s0.Mean() < 0.02 || s0.Mean() > 0.25 {
+		t.Errorf("mean speedup at degree 0 = %.3f, outside the plausible band", s0.Mean())
+	}
+	// swaptions is compute-bound: ~no speedup.
+	sw, _ := f.Value("speedup approx-0", "swaptions")
+	if sw > 0.02 {
+		t.Errorf("swaptions speedup %.3f should be ~0", sw)
+	}
+	// Energy savings grow with degree on the mean.
+	e0, _ := f.Row("energy savings approx-0")
+	e16, _ := f.Row("energy savings approx-16")
+	if e16.Mean() <= e0.Mean() {
+		t.Errorf("energy savings must grow with degree: %.3f -> %.3f", e0.Mean(), e16.Mean())
+	}
+	if e16.Mean() < 0.05 {
+		t.Errorf("mean energy savings at degree 16 = %.3f, too small", e16.Mean())
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig11()
+	var prev = 2.0
+	for _, label := range []string{"approx-0", "approx-2", "approx-4", "approx-8", "approx-16"} {
+		r, _ := f.Row(label)
+		if r.Mean() > prev+0.01 {
+			t.Errorf("mean normalized EDP must fall with degree: %s rose to %.3f", label, r.Mean())
+		}
+		prev = r.Mean()
+	}
+	r0, _ := f.Row("approx-0")
+	if r0.Mean() > 0.8 {
+		t.Errorf("degree-0 EDP reduction too small: %.3f (paper: ~0.58)", r0.Mean())
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	shortSkip(t)
+	f := Fig12()
+	r, _ := f.Row("static approx load PCs")
+	maxV, maxI := 0.0, 0
+	for i, v := range r.Values {
+		if v <= 0 || v > 300 {
+			t.Errorf("%s: %v static PCs outside the paper's range", f.Benchmarks[i], v)
+		}
+		if v > maxV {
+			maxV, maxI = v, i
+		}
+	}
+	// The paper's Figure 12 has x264 on top.
+	if f.Benchmarks[maxI] != "x264" {
+		t.Errorf("x264 should have the most static approximate PCs, %s does (%v)",
+			f.Benchmarks[maxI], maxV)
+	}
+}
+
+func TestAblationTableShape(t *testing.T) {
+	shortSkip(t)
+	f := AblationTable()
+	big, _ := f.Row("entries-512")
+	mid, _ := f.Row("entries-256")
+	if mid.Mean() > big.Mean()+0.05 {
+		t.Errorf("256 entries must be nearly as good as 512: %.3f vs %.3f", mid.Mean(), big.Mean())
+	}
+	small, _ := f.Row("entries-64")
+	if small.Mean() > big.Mean()+0.25 {
+		t.Errorf("even 64 entries must retain most of the benefit: %.3f vs %.3f", small.Mean(), big.Mean())
+	}
+}
+
+func TestExtMLPShape(t *testing.T) {
+	shortSkip(t)
+	f := ExtMLP()
+	narrow, _ := f.Row("ROB-16/MSHR-4")
+	wide, _ := f.Row("ROB-64/MSHR-16")
+	if wide.Mean() >= narrow.Mean() {
+		t.Errorf("a wider OoO machine must shrink LVA's mean speedup: %.3f vs %.3f",
+			wide.Mean(), narrow.Mean())
+	}
+}
+
+func TestExtLaneShape(t *testing.T) {
+	shortSkip(t)
+	f := ExtLane()
+	fast, _ := f.Row("speedup fast-lane")
+	slow, _ := f.Row("speedup slow-lane")
+	if slow.Mean() < fast.Mean()-0.03 {
+		t.Errorf("the slow training lane must not cost speedup: %.3f vs %.3f", slow.Mean(), fast.Mean())
+	}
+}

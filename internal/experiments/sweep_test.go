@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSweepSpecDefaults(t *testing.T) {
+	var spec SweepSpec
+	if got := spec.Points(); got != 7 {
+		t.Fatalf("empty spec must default to one baseline point per benchmark, got %d", got)
+	}
+	spec.Benchmarks = []string{"swaptions"}
+	spec.Degrees = []int{0, 4}
+	spec.GHBs = []int{0, 2}
+	if got := spec.Points(); got != 4 {
+		t.Fatalf("points = %d, want 4", got)
+	}
+}
+
+func TestSweepCSVShapes(t *testing.T) {
+	hdr := CSVHeader()
+	row := (SweepPoint{Benchmark: "x"}).CSVRow()
+	if len(hdr) != len(row) {
+		t.Fatalf("header/row mismatch: %d vs %d", len(hdr), len(row))
+	}
+}
+
+func TestSweepUnknownBenchmark(t *testing.T) {
+	_, err := RunSweep(SweepSpec{Benchmarks: []string{"nosuch"}}, nil)
+	if err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestSweepInvalidConfig(t *testing.T) {
+	_, err := RunSweep(SweepSpec{
+		Benchmarks: []string{"swaptions"},
+		GHBs:       []int{-1},
+	}, nil)
+	if err == nil {
+		t.Fatal("invalid approximator parameter must error")
+	}
+}
+
+func TestSweepRunsAndReportsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	spec := SweepSpec{
+		Benchmarks: []string{"swaptions"},
+		Degrees:    []int{0, 4},
+	}
+	calls := 0
+	points, err := RunSweep(spec, func(done, total int) {
+		calls++
+		if total != 2 || done > total {
+			t.Fatalf("progress(%d, %d)", done, total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || calls != 2 {
+		t.Fatalf("points=%d calls=%d", len(points), calls)
+	}
+	for _, p := range points {
+		if p.Benchmark != "swaptions" {
+			t.Fatalf("benchmark = %q", p.Benchmark)
+		}
+		if p.NormalizedMPKI < 0 || p.Coverage < 0 || p.Coverage > 1 {
+			t.Fatalf("implausible point %+v", p)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	spec := SweepSpec{
+		Benchmarks: []string{"swaptions", "x264"},
+		Degrees:    []int{0, 4},
+	}
+	saved := Parallelism
+	defer func() { Parallelism = saved }()
+
+	Parallelism = 1
+	seq, err := RunSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Parallelism = 8
+	par, err := RunSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}

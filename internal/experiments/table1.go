@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+
+	"lva/internal/workloads"
+)
+
+// Table1 reproduces Table I: precise L1 MPKI per benchmark and the
+// variation in dynamic instruction count when load value approximation is
+// employed (the paper reports variations of 0.00%–2.37%; approximation
+// perturbs control flow only indirectly, through approximated values
+// feeding data-dependent branches).
+func Table1() *Figure {
+	f := &Figure{
+		ID:         "table1",
+		Title:      "Precise L1 MPKI and dynamic instruction-count variation under LVA",
+		ValueUnit:  "MPKI / % variation",
+		Benchmarks: workloads.Names(),
+	}
+	precise := preciseAll()
+	runs := lvaRow(BaselineFor)
+	mpki := Row{Label: "precise L1 MPKI"}
+	vari := Row{Label: "inst count variation %"}
+	for i := range runs {
+		mpki.Values = append(mpki.Values, precise[i].Sim.RawMPKI())
+		d := math.Abs(float64(runs[i].Sim.Instructions)-float64(precise[i].Sim.Instructions)) /
+			float64(precise[i].Sim.Instructions) * 100
+		vari.Values = append(vari.Values, d)
+	}
+	f.Rows = []Row{mpki, vari}
+	f.Notes = append(f.Notes,
+		"paper Table I MPKI: blackscholes 0.93, bodytrack 4.93, canneal 12.50, ferret 3.28, fluidanimate 1.23, swaptions 4.92e-05, x264 0.59",
+		"paper Table I variation: 0.99%, 0.05%, 1.25%, 0.60%, 0.17%, 0.00%, 2.37%")
+	return f
+}

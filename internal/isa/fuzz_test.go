@@ -1,0 +1,41 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble ensures the assembler never panics on arbitrary source text
+// and that anything it accepts also survives bounded execution against a
+// throwaway memory (no panics, only clean errors).
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 5\nhalt\n")
+	f.Add("loop: addi r1, r1, 1\nblt r1, r2, loop\n")
+	f.Add("ld.a r2, 8(r1)\nfst f3, -16(r4)\n")
+	f.Add("tick 10\n# comment only\n")
+	f.Add(":::\nli\nbogus x y z\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Execute briefly against a null memory; must not panic.
+		vm := NewVM(p, nullMem{})
+		vm.MaxSteps = 10_000
+		_ = vm.Run()
+		_ = strings.TrimSpace(src)
+	})
+}
+
+// nullMem is a Memory that returns precise values and tracks nothing.
+type nullMem struct{}
+
+func (nullMem) LoadFloat(_, _ uint64, precise float64, _ bool) float64 { return precise }
+func (nullMem) LoadInt(_, _ uint64, precise int64, _ bool) int64       { return precise }
+func (nullMem) Store(_, _ uint64)                                      {}
+func (nullMem) Tick(uint64)                                            {}
+func (nullMem) SetThread(int)                                          {}

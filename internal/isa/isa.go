@@ -1,0 +1,330 @@
+// Package isa implements a small RISC-like instruction set with the
+// paper's §IV ISA extension: approximate-load instructions (`ld.a`,
+// `fld.a`) that mark a load as tolerating load value approximation, the
+// EnerJ-style annotation surfaced at the ISA level. Programs are written
+// in a simple assembly text form, assembled to an instruction list, and
+// executed by a VM whose every data access goes through a memsim.Memory —
+// so running a program under a precise or LVA-attached simulator measures
+// exactly what the hardware proposal would do to it.
+//
+// The instruction set (registers r0..r31 with r0 wired to zero, and
+// f0..f31):
+//
+//	li   rD, imm        load integer immediate
+//	fli  fD, imm        load float immediate
+//	mov  rD, rA         |  fmov fD, fA
+//	add/sub/mul/div   rD, rA, rB
+//	addi rD, rA, imm
+//	fadd/fsub/fmul/fdiv fD, fA, fB
+//	cvtf fD, rA         int -> float |  cvti rD, fA   float -> int (truncate)
+//	ld   rD, off(rA)    precise int load   |  ld.a  rD, off(rA)  approximate
+//	fld  fD, off(rA)    precise float load |  fld.a fD, off(rA)  approximate
+//	st   rS, off(rA)    int store          |  fst   fS, off(rA)  float store
+//	beq/bne/blt/bge rA, rB, label
+//	jmp  label
+//	tick n              account n non-memory instructions
+//	halt
+//
+// Comments run from '#' to end of line. Labels are `name:` on their own
+// line or before an instruction.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Opcode enumerates the VM's operations.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpLi Opcode = iota
+	OpFli
+	OpMov
+	OpFmov
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAddi
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpCvtf
+	OpCvti
+	OpLd
+	OpLdA
+	OpFld
+	OpFldA
+	OpSt
+	OpFst
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJmp
+	OpTick
+	OpHalt
+)
+
+var opNames = map[string]Opcode{
+	"li": OpLi, "fli": OpFli, "mov": OpMov, "fmov": OpFmov,
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "addi": OpAddi,
+	"fadd": OpFadd, "fsub": OpFsub, "fmul": OpFmul, "fdiv": OpFdiv,
+	"cvtf": OpCvtf, "cvti": OpCvti,
+	"ld": OpLd, "ld.a": OpLdA, "fld": OpFld, "fld.a": OpFldA,
+	"st": OpSt, "fst": OpFst,
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"jmp": OpJmp, "tick": OpTick, "halt": OpHalt,
+}
+
+// Inst is one assembled instruction.
+type Inst struct {
+	Op   Opcode
+	D    int     // destination register index
+	A, B int     // source register indices
+	Imm  int64   // integer immediate / branch target / tick count
+	FImm float64 // float immediate
+	Off  int64   // load/store offset
+	Line int     // source line, for diagnostics
+}
+
+// Program is an assembled instruction sequence.
+type Program struct {
+	Insts  []Inst
+	Labels map[string]int
+	// PCBase gives each instruction a distinct synthetic PC
+	// (PCBase + 4*index), which is what the approximator indexes on.
+	PCBase uint64
+}
+
+// Assemble parses assembly text into a Program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}, PCBase: 0x800000}
+	type patch struct {
+		inst  int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t,") {
+				label := line[:i]
+				if _, dup := p.Labels[label]; dup {
+					return nil, fmt.Errorf("isa: line %d: duplicate label %q", ln+1, label)
+				}
+				p.Labels[label] = len(p.Insts)
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnem := fields[0]
+		op, ok := opNames[mnem]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", ln+1, mnem)
+		}
+		args := splitArgs(strings.TrimSpace(strings.TrimPrefix(line, mnem)))
+		inst := Inst{Op: op, Line: ln + 1}
+
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("isa: line %d: "+format, append([]any{ln + 1}, a...)...)
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return fail("%s needs %d operands, got %d", mnem, n, len(args))
+			}
+			return nil
+		}
+
+		var err error
+		switch op {
+		case OpLi:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.Imm, err = strconv.ParseInt(args[1], 0, 64)
+				}
+			}
+		case OpFli:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'f')
+				if err == nil {
+					inst.FImm, err = strconv.ParseFloat(args[1], 64)
+				}
+			}
+		case OpMov:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'r')
+				}
+			}
+		case OpFmov:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'f')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'f')
+				}
+			}
+		case OpAdd, OpSub, OpMul, OpDiv:
+			if err = need(3); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'r')
+				}
+				if err == nil {
+					inst.B, err = parseReg(args[2], 'r')
+				}
+			}
+		case OpAddi:
+			if err = need(3); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'r')
+				}
+				if err == nil {
+					inst.Imm, err = strconv.ParseInt(args[2], 0, 64)
+				}
+			}
+		case OpFadd, OpFsub, OpFmul, OpFdiv:
+			if err = need(3); err == nil {
+				inst.D, err = parseReg(args[0], 'f')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'f')
+				}
+				if err == nil {
+					inst.B, err = parseReg(args[2], 'f')
+				}
+			}
+		case OpCvtf:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'f')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'r')
+				}
+			}
+		case OpCvti:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.A, err = parseReg(args[1], 'f')
+				}
+			}
+		case OpLd, OpLdA, OpSt:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.Off, inst.A, err = parseMem(args[1])
+				}
+			}
+		case OpFld, OpFldA, OpFst:
+			if err = need(2); err == nil {
+				inst.D, err = parseReg(args[0], 'f')
+				if err == nil {
+					inst.Off, inst.A, err = parseMem(args[1])
+				}
+			}
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if err = need(3); err == nil {
+				inst.A, err = parseReg(args[0], 'r')
+				if err == nil {
+					inst.B, err = parseReg(args[1], 'r')
+				}
+				if err == nil {
+					patches = append(patches, patch{inst: len(p.Insts), label: args[2], line: ln + 1})
+				}
+			}
+		case OpJmp:
+			if err = need(1); err == nil {
+				patches = append(patches, patch{inst: len(p.Insts), label: args[0], line: ln + 1})
+			}
+		case OpTick:
+			if err = need(1); err == nil {
+				inst.Imm, err = strconv.ParseInt(args[0], 0, 64)
+				if err == nil && inst.Imm < 0 {
+					err = fail("negative tick")
+				}
+			}
+		case OpHalt:
+			err = need(0)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", ln+1, err)
+		}
+		p.Insts = append(p.Insts, inst)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Insts[pt.inst].Imm = int64(target)
+	}
+	return p, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string, kind byte) (int, error) {
+	if len(s) < 2 || s[0] != kind {
+		return 0, fmt.Errorf("expected %c-register, got %q", kind, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+// parseMem parses "off(rA)" memory operands.
+func parseMem(s string) (off int64, reg int, err error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want off(rA))", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = strconv.ParseInt(offStr, 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	reg, err = parseReg(strings.TrimSpace(s[open+1:close]), 'r')
+	return off, reg, err
+}

@@ -1,0 +1,297 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"lva/internal/memsim"
+)
+
+func preciseMem() *memsim.Simulator {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachNone
+	return memsim.New(cfg)
+}
+
+func lvaMem() *memsim.Simulator {
+	cfg := memsim.DefaultConfig()
+	cfg.Approx.ValueDelay = 0
+	return memsim.New(cfg)
+}
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestArithmetic(t *testing.T) {
+	p := mustAssemble(t, `
+		li   r1, 6
+		li   r2, 7
+		mul  r3, r1, r2
+		addi r4, r3, -2
+		sub  r5, r4, r1
+		div  r6, r5, r2   # 34/7 = 4
+		halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[3] != 42 || vm.R[4] != 40 || vm.R[5] != 34 || vm.R[6] != 4 {
+		t.Fatalf("registers: %v", vm.R[:8])
+	}
+}
+
+func TestFloatOpsAndConversions(t *testing.T) {
+	p := mustAssemble(t, `
+		fli  f1, 1.5
+		fli  f2, 2.5
+		fadd f3, f1, f2
+		fmul f4, f3, f2
+		li   r1, 3
+		cvtf f5, r1
+		fdiv f6, f4, f5
+		cvti r2, f6
+		halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.F[3] != 4.0 || vm.F[4] != 10.0 || vm.F[6] != 10.0/3 || vm.R[2] != 3 {
+		t.Fatalf("float regs: %v, r2=%d", vm.F[:8], vm.R[2])
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	p := mustAssemble(t, `
+		li r0, 99
+		li r1, 5
+		add r2, r1, r0
+		halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[0] != 0 || vm.R[2] != 5 {
+		t.Fatalf("r0 must stay zero: %v", vm.R[:4])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	p := mustAssemble(t, `
+		li r1, 0    # sum
+		li r2, 1    # i
+		li r3, 11
+	loop:
+		bge r2, r3, done
+		add r1, r1, r2
+		addi r2, r2, 1
+		jmp loop
+	done:
+		halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[1] != 55 {
+		t.Fatalf("sum = %d", vm.R[1])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+		li  r1, 0x1000
+		li  r2, 123
+		st  r2, 0(r1)
+		ld  r3, 0(r1)
+		fli f1, 2.75
+		fst f1, 64(r1)
+		fld f2, 64(r1)
+		halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[3] != 123 || vm.F[2] != 2.75 {
+		t.Fatalf("memory roundtrip: r3=%d f2=%v", vm.R[3], vm.F[2])
+	}
+	if vm.PeekInt(0x1000) != 123 || vm.PeekFloat(0x1040) != 2.75 {
+		t.Fatal("backing store must hold precise values")
+	}
+}
+
+func TestApproximateLoadIsClobbered(t *testing.T) {
+	// Train the approximator through misses at one PC with value 10, then
+	// an ld.a of a fresh block holding 99 must consume ~10 while the
+	// backing store keeps 99.
+	// One static ld.a inside a loop: iterations 1-4 train the entry with
+	// value 10; iteration 5 reads a block holding 99 but — being the same
+	// static instruction — consumes the approximation instead. r5 captures
+	// the final loaded value.
+	var sb strings.Builder
+	sb.WriteString(`
+		li r1, 0x100000
+		li r3, 0
+		li r4, 5
+	train:
+		bge r3, r4, done
+		ld.a r2, 0(r1)
+		mov r5, r2
+		addi r1, r1, 64
+		addi r3, r3, 1
+		jmp train
+	done:
+		halt
+	`)
+	p := mustAssemble(t, sb.String())
+	mem := lvaMem()
+	vm := NewVM(p, mem)
+	for i := 0; i < 4; i++ {
+		vm.PokeInt(uint64(0x100000+i*64), 10)
+	}
+	vm.PokeInt(0x100000+4*64, 99)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[5] != 10 {
+		t.Fatalf("approximate load must consume the approximation 10, got %d", vm.R[5])
+	}
+	if vm.PeekInt(0x100000+4*64) != 99 {
+		t.Fatal("backing memory must stay precise")
+	}
+	if mem.Result().Covered == 0 {
+		t.Fatal("coverage must be recorded")
+	}
+	// The same program with precise `ld` consumes 99.
+	p2 := mustAssemble(t, strings.ReplaceAll(sb.String(), "ld.a", "ld"))
+	vm2 := NewVM(p2, lvaMem())
+	for i := 0; i < 4; i++ {
+		vm2.PokeInt(uint64(0x100000+i*64), 10)
+	}
+	vm2.PokeInt(0x100000+4*64, 99)
+	if err := vm2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm2.R[5] != 99 {
+		t.Fatalf("precise load must consume 99, got %d", vm2.R[5])
+	}
+}
+
+func TestTickFlowsToMemory(t *testing.T) {
+	p := mustAssemble(t, `
+		tick 100
+		halt
+	`)
+	mem := preciseMem()
+	vm := NewVM(p, mem)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Result().Instructions != 100 {
+		t.Fatalf("ticks must reach the simulator: %d", mem.Result().Instructions)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 5
+		div r2, r1, r0
+		halt
+	`)
+	if err := NewVM(p, preciseMem()).Run(); err == nil {
+		t.Fatal("integer division by zero must error")
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p := mustAssemble(t, `
+	spin:
+		jmp spin
+	`)
+	vm := NewVM(p, preciseMem())
+	vm.MaxSteps = 1000
+	if err := vm.Run(); err == nil {
+		t.Fatal("infinite loop must hit MaxSteps")
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	p := mustAssemble(t, `li r1, 1`)
+	if err := NewVM(p, preciseMem()).Run(); err != nil {
+		t.Fatalf("implicit halt: %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2",
+		"li r1",               // missing operand
+		"li x1, 5",            // bad register kind
+		"li r99, 5",           // register out of range
+		"ld r1, nonsense",     // bad memory operand
+		"jmp nowhere",         // undefined label
+		"dup: li r1, 1\ndup:", // duplicate label
+		"tick -5",             // negative tick
+		"fli f1, notafloat",
+	}
+	for i, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("case %d (%q) must fail to assemble", i, src)
+		}
+	}
+}
+
+func TestLabelsBeforeInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+	start: li r1, 1
+	       jmp end
+	       li r1, 2
+	end:   halt
+	`)
+	vm := NewVM(p, preciseMem())
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[1] != 1 {
+		t.Fatalf("jump skipped wrong code: r1=%d", vm.R[1])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+		# full-line comment
+
+		li r1, 7   # trailing comment
+		halt
+	`)
+	if len(p.Insts) != 2 {
+		t.Fatalf("instructions = %d", len(p.Insts))
+	}
+}
+
+func TestDistinctPCsPerInstruction(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 0x2000
+		ld.a r2, 0(r1)
+		ld.a r3, 64(r1)
+		halt
+	`)
+	mem := lvaMem()
+	vm := NewVM(p, mem)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Result().StaticPCs; got != 2 {
+		t.Fatalf("two ld.a sites must yield 2 static PCs, got %d", got)
+	}
+}

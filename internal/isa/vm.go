@@ -1,0 +1,163 @@
+package isa
+
+import (
+	"fmt"
+
+	"lva/internal/memsim"
+)
+
+// VM executes an assembled Program against a simulated memory hierarchy.
+// Data memory is backed by sparse maps (one for integer lanes, one for
+// float lanes); the precise value always lives there, and approximate
+// loads consume whatever the hierarchy returns — the exact contract of
+// the paper's hardware.
+type VM struct {
+	prog *Program
+	mem  memsim.Memory
+
+	R [32]int64
+	F [32]float64
+
+	intMem   map[uint64]int64
+	floatMem map[uint64]float64
+
+	// Executed counts retired instructions (VM-level, not Tick-inflated).
+	Executed uint64
+	// MaxSteps bounds execution to catch runaway programs (default 10M).
+	MaxSteps uint64
+}
+
+// NewVM binds a program to a memory hierarchy.
+func NewVM(prog *Program, mem memsim.Memory) *VM {
+	return &VM{
+		prog:     prog,
+		mem:      mem,
+		intMem:   make(map[uint64]int64),
+		floatMem: make(map[uint64]float64),
+		MaxSteps: 10_000_000,
+	}
+}
+
+// PokeInt seeds integer data memory before execution.
+func (v *VM) PokeInt(addr uint64, val int64) { v.intMem[addr] = val }
+
+// PokeFloat seeds float data memory before execution.
+func (v *VM) PokeFloat(addr uint64, val float64) { v.floatMem[addr] = val }
+
+// PeekInt reads integer data memory after execution (the precise backing
+// store, not an approximation).
+func (v *VM) PeekInt(addr uint64) int64 { return v.intMem[addr] }
+
+// PeekFloat reads float data memory after execution.
+func (v *VM) PeekFloat(addr uint64) float64 { return v.floatMem[addr] }
+
+// Run executes until halt, the end of the program, or MaxSteps.
+func (v *VM) Run() error {
+	pc := 0
+	for steps := uint64(0); ; steps++ {
+		if steps >= v.MaxSteps {
+			return fmt.Errorf("isa: exceeded %d steps (infinite loop?)", v.MaxSteps)
+		}
+		if pc < 0 || pc >= len(v.prog.Insts) {
+			return nil // fell off the end: implicit halt
+		}
+		in := v.prog.Insts[pc]
+		v.Executed++
+		v.R[0] = 0
+		switch in.Op {
+		case OpHalt:
+			return nil
+		case OpLi:
+			v.setR(in.D, in.Imm)
+		case OpFli:
+			v.F[in.D] = in.FImm
+		case OpMov:
+			v.setR(in.D, v.R[in.A])
+		case OpFmov:
+			v.F[in.D] = v.F[in.A]
+		case OpAdd:
+			v.setR(in.D, v.R[in.A]+v.R[in.B])
+		case OpSub:
+			v.setR(in.D, v.R[in.A]-v.R[in.B])
+		case OpMul:
+			v.setR(in.D, v.R[in.A]*v.R[in.B])
+		case OpDiv:
+			if v.R[in.B] == 0 {
+				return fmt.Errorf("isa: line %d: integer division by zero", in.Line)
+			}
+			v.setR(in.D, v.R[in.A]/v.R[in.B])
+		case OpAddi:
+			v.setR(in.D, v.R[in.A]+in.Imm)
+		case OpFadd:
+			v.F[in.D] = v.F[in.A] + v.F[in.B]
+		case OpFsub:
+			v.F[in.D] = v.F[in.A] - v.F[in.B]
+		case OpFmul:
+			v.F[in.D] = v.F[in.A] * v.F[in.B]
+		case OpFdiv:
+			v.F[in.D] = v.F[in.A] / v.F[in.B]
+		case OpCvtf:
+			v.F[in.D] = float64(v.R[in.A])
+		case OpCvti:
+			v.setR(in.D, int64(v.F[in.A]))
+		case OpTick:
+			v.mem.Tick(uint64(in.Imm))
+
+		case OpLd, OpLdA:
+			addr := uint64(v.R[in.A] + in.Off)
+			precise := v.intMem[addr]
+			got := v.mem.LoadInt(v.pcOf(pc), addr, precise, in.Op == OpLdA)
+			v.setR(in.D, got)
+		case OpFld, OpFldA:
+			addr := uint64(v.R[in.A] + in.Off)
+			precise := v.floatMem[addr]
+			got := v.mem.LoadFloat(v.pcOf(pc), addr, precise, in.Op == OpFldA)
+			v.F[in.D] = got
+		case OpSt:
+			addr := uint64(v.R[in.A] + in.Off)
+			v.intMem[addr] = v.R[in.D]
+			v.mem.Store(v.pcOf(pc), addr)
+		case OpFst:
+			addr := uint64(v.R[in.A] + in.Off)
+			v.floatMem[addr] = v.F[in.D]
+			v.mem.Store(v.pcOf(pc), addr)
+
+		case OpBeq:
+			if v.R[in.A] == v.R[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpBne:
+			if v.R[in.A] != v.R[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpBlt:
+			if v.R[in.A] < v.R[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpBge:
+			if v.R[in.A] >= v.R[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJmp:
+			pc = int(in.Imm)
+			continue
+		default:
+			return fmt.Errorf("isa: line %d: unimplemented opcode %d", in.Line, in.Op)
+		}
+		pc++
+	}
+}
+
+// setR writes a register, keeping r0 hard-wired to zero.
+func (v *VM) setR(d int, val int64) {
+	if d != 0 {
+		v.R[d] = val
+	}
+}
+
+// pcOf returns the synthetic program counter of instruction index i.
+func (v *VM) pcOf(i int) uint64 { return v.prog.PCBase + uint64(i)*4 }

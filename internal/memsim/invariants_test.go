@@ -1,0 +1,139 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests: bookkeeping invariants that must hold for any access
+// stream under any attachment.
+
+type step struct {
+	pc     uint16
+	addr   uint16
+	value  int16
+	approx bool
+	store  bool
+}
+
+func drive(att Attachment, degree int, steps []step) Result {
+	cfg := DefaultConfig()
+	cfg.Attach = att
+	cfg.Approx.ValueDelay = 0
+	cfg.Approx.Degree = degree
+	s := New(cfg)
+	for _, st := range steps {
+		pc := 0x400 + uint64(st.pc%16)*4
+		addr := uint64(st.addr) * 8
+		if st.store {
+			s.Store(pc, addr)
+		} else {
+			s.LoadInt(pc, addr, int64(st.value), st.approx)
+		}
+	}
+	return s.Result()
+}
+
+func checkInvariants(r Result) bool {
+	if r.Covered > r.LoadMisses {
+		return false
+	}
+	if r.LoadMisses > r.Loads {
+		return false
+	}
+	if r.Loads+r.Stores > r.Instructions {
+		return false
+	}
+	if r.Coverage() < 0 || r.Coverage() > 1 {
+		return false
+	}
+	if r.EffectiveMPKI() > r.RawMPKI() {
+		return false
+	}
+	return true
+}
+
+func TestInvariantsAcrossAttachments(t *testing.T) {
+	for _, att := range []Attachment{AttachNone, AttachLVA, AttachLVP, AttachPrefetch} {
+		att := att
+		f := func(raw []uint32, degSel uint8) bool {
+			steps := make([]step, len(raw))
+			for i, r := range raw {
+				steps[i] = step{
+					pc:     uint16(r),
+					addr:   uint16(r >> 8),
+					value:  int16(r % 97),
+					approx: r&1 == 0,
+					store:  r&0xF == 7,
+				}
+			}
+			return checkInvariants(drive(att, int(degSel%4), steps))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v: %v", att, err)
+		}
+	}
+}
+
+func TestPreciseNeverCovers(t *testing.T) {
+	f := func(raw []uint32) bool {
+		steps := make([]step, len(raw))
+		for i, r := range raw {
+			steps[i] = step{pc: uint16(r), addr: uint16(r >> 8), value: 1, approx: true}
+		}
+		r := drive(AttachNone, 0, steps)
+		return r.Covered == 0 && r.Fetches == r.LoadMisses+r.Cache.StoreMiss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLVADegreeZeroFetchesEveryMiss(t *testing.T) {
+	// With degree 0 the fetch-per-miss invariant of precise execution is
+	// preserved even when approximating (fetches train the approximator).
+	f := func(raw []uint16) bool {
+		steps := make([]step, len(raw))
+		for i, r := range raw {
+			steps[i] = step{pc: uint16(r % 64), addr: r, value: int16(r % 13), approx: true}
+		}
+		res := drive(AttachLVA, 0, steps)
+		return res.Fetches == res.LoadMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLVPFetchesEqualMisses(t *testing.T) {
+	// LVP always validates: fetches == misses regardless of the degree
+	// the caller tried to configure.
+	f := func(raw []uint16, degSel uint8) bool {
+		steps := make([]step, len(raw))
+		for i, r := range raw {
+			steps[i] = step{pc: uint16(r % 8), addr: r, value: int16(r % 5), approx: true}
+		}
+		res := drive(AttachLVP, int(degSel%17), steps)
+		return res.Fetches == res.LoadMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxStatsMatchSimCounts(t *testing.T) {
+	// The simulator's covered counter must equal the approximator's
+	// Approximations stat; its miss counter must equal the approximator's
+	// Misses when every load is approximate.
+	f := func(raw []uint16) bool {
+		steps := make([]step, len(raw))
+		for i, r := range raw {
+			steps[i] = step{pc: uint16(r % 32), addr: r, value: int16(r % 7), approx: true}
+		}
+		r := drive(AttachLVA, 0, steps)
+		return r.Approx.Approximations == r.Covered && r.Approx.Misses == r.LoadMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package memsim is the phase-1, Pin-like memory-hierarchy simulator
+// (paper §V-A). Workloads issue every load and store through the Memory
+// interface; the simulator models a private L1 data cache and attaches one
+// of: nothing (precise), a load value approximator, an idealized load value
+// predictor, or a GHB prefetcher. For covered approximate loads the
+// returned value is clobbered with the approximation, dynamically altering
+// the execution of the workload — exactly the paper's methodology for
+// measuring final output error.
+package memsim
+
+import (
+	"fmt"
+
+	"lva/internal/cache"
+	"lva/internal/core"
+	"lva/internal/prefetch"
+	"lva/internal/trace"
+	"lva/internal/value"
+)
+
+// Memory is the interface workloads use for every annotated memory access.
+// Loads pass the precise value in; the simulator returns either that value
+// (hit, or uncovered miss) or an approximation (covered miss of a load with
+// approx=true).
+type Memory interface {
+	// LoadFloat performs a data load of a float64.
+	LoadFloat(pc, addr uint64, precise float64, approx bool) float64
+	// LoadInt performs a data load of a signed integer.
+	LoadInt(pc, addr uint64, precise int64, approx bool) int64
+	// Store performs a data store (never approximated, §V-A).
+	Store(pc, addr uint64)
+	// Tick accounts n non-memory instructions (ALU work between accesses).
+	Tick(n uint64)
+	// SetThread tags subsequent accesses with a logical thread id, used
+	// when capturing traces for the 4-core phase-2 simulator.
+	SetThread(t int)
+}
+
+// Attachment selects what augments the L1.
+type Attachment uint8
+
+const (
+	// AttachNone is precise execution: every miss fetches, no coverage.
+	AttachNone Attachment = iota
+	// AttachLVA attaches the load value approximator.
+	AttachLVA
+	// AttachLVP attaches the idealized load value predictor baseline.
+	AttachLVP
+	// AttachPrefetch attaches the GHB prefetcher (applied to all data).
+	AttachPrefetch
+)
+
+func (a Attachment) String() string {
+	switch a {
+	case AttachLVA:
+		return "lva"
+	case AttachLVP:
+		return "lvp"
+	case AttachPrefetch:
+		return "prefetch"
+	default:
+		return "precise"
+	}
+}
+
+// Config assembles a phase-1 simulation.
+type Config struct {
+	L1       cache.Config
+	Attach   Attachment
+	Approx   core.Config     // used by AttachLVA / AttachLVP
+	Prefetch prefetch.Config // used by AttachPrefetch
+}
+
+// DefaultConfig returns the paper's phase-1 setup: 64 KB 8-way 64 B-block
+// L1 with the Table II baseline approximator attached.
+func DefaultConfig() Config {
+	return Config{
+		L1:     cache.Config{SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 1},
+		Attach: AttachLVA,
+		Approx: core.DefaultConfig(),
+	}
+}
+
+// Result aggregates the phase-1 metrics the paper's figures are built from.
+type Result struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	LoadMisses   uint64 // raw L1 load misses, before coverage
+	Covered      uint64 // misses satisfied by an approximation/prediction
+	Fetches      uint64 // blocks fetched into the L1 (demand + prefetch)
+	StaticPCs    int    // distinct PCs that issued approximate loads
+
+	Approx   core.Stats
+	Prefetch prefetch.Stats
+	Cache    cache.Stats
+}
+
+// EffectiveMPKI is load misses per kilo-instruction with covered misses
+// counted as hits ("an approximated value is a cache hit", §V-A).
+func (r Result) EffectiveMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.LoadMisses-r.Covered) * 1000 / float64(r.Instructions)
+}
+
+// RawMPKI is load misses per kilo-instruction ignoring coverage.
+func (r Result) RawMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.LoadMisses) * 1000 / float64(r.Instructions)
+}
+
+// Coverage is the fraction of L1 load misses that were covered.
+func (r Result) Coverage() float64 {
+	if r.LoadMisses == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.LoadMisses)
+}
+
+// Simulator implements Memory. Not safe for concurrent use.
+type Simulator struct {
+	cfg      Config
+	l1       *cache.Cache
+	approx   *core.Approximator
+	pref     *prefetch.Prefetcher
+	thread   uint8
+	insts    uint64
+	loads    uint64
+	stores   uint64
+	misses   uint64
+	covered  uint64
+	fetches  uint64
+	approxPC map[uint64]struct{}
+
+	rec     *trace.Trace // optional capture
+	lastEnd []uint64     // per-thread instruction count at last recorded access
+}
+
+// New builds a simulator; it panics on an invalid Config since
+// configurations are fixed experiment parameters.
+func New(cfg Config) *Simulator {
+	if err := cfg.L1.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		l1:       cache.New(cfg.L1),
+		approxPC: make(map[uint64]struct{}),
+	}
+	switch cfg.Attach {
+	case AttachLVA:
+		s.approx = core.New(cfg.Approx)
+	case AttachLVP:
+		c := cfg.Approx
+		c.Mode = core.ModeLVP
+		c.Window = 0 // exact match only
+		c.Degree = 0 // always fetch
+		s.approx = core.New(c)
+	case AttachPrefetch:
+		p := cfg.Prefetch
+		if p.GHBEntries == 0 {
+			p = prefetch.DefaultConfig()
+		}
+		p.BlockBytes = cfg.L1.BlockBytes
+		s.pref = prefetch.New(p)
+	}
+	return s
+}
+
+// Capture directs the simulator to record every access into a trace with
+// the given name. Call before running the workload.
+func (s *Simulator) Capture(name string) {
+	s.rec = &trace.Trace{Name: name}
+	s.lastEnd = make([]uint64, 256)
+}
+
+// TakeTrace returns the captured trace (nil if Capture was not called).
+func (s *Simulator) TakeTrace() *trace.Trace { return s.rec }
+
+// SetThread implements Memory.
+func (s *Simulator) SetThread(t int) {
+	if t < 0 || t > 255 {
+		panic(fmt.Sprintf("memsim: thread id %d out of range", t))
+	}
+	s.thread = uint8(t)
+}
+
+// Tick implements Memory.
+func (s *Simulator) Tick(n uint64) { s.insts += n }
+
+func (s *Simulator) record(pc, addr uint64, v value.Value, op trace.Op, approx bool) {
+	if s.rec == nil {
+		return
+	}
+	gap := s.insts - s.lastEnd[s.thread]
+	if gap > 1<<30 {
+		gap = 1 << 30
+	}
+	// The access instruction itself is not part of the next gap.
+	s.lastEnd[s.thread] = s.insts + 1
+	s.rec.Append(trace.Access{
+		PC: pc, Addr: addr, Value: v, Gap: uint32(gap),
+		Thread: s.thread, Op: op, Approx: approx,
+	})
+}
+
+// load is the common load path; returns the (possibly clobbered) value.
+func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) value.Value {
+	s.record(pc, addr, precise, trace.Load, approx)
+	s.insts++
+	s.loads++
+	if s.approx != nil {
+		s.approx.OnLoad() // advance value-delay countdowns on every load
+	}
+	if approx {
+		s.approxPC[pc] = struct{}{}
+	}
+
+	if s.l1.Load(addr) {
+		return precise
+	}
+	s.misses++
+
+	if approx && s.approx != nil {
+		d := s.approx.OnMiss(pc, precise)
+		if d.Fetch {
+			s.fetches++
+			s.l1.Fill(addr, false)
+		}
+		if d.Approximated {
+			s.covered++
+			if s.cfg.Attach == AttachLVP {
+				// An idealized correct prediction equals the precise
+				// value; incorrect predictions roll back and re-execute,
+				// so the consumed value is always precise.
+				return precise
+			}
+			return d.Value
+		}
+		return precise
+	}
+
+	// Precise miss path: demand fetch, plus prefetches if attached.
+	s.fetches++
+	s.l1.Fill(addr, false)
+	if s.pref != nil {
+		for _, t := range s.pref.OnMiss(pc, s.l1.BlockAddr(addr)) {
+			if !s.l1.Contains(t) {
+				s.fetches++
+				s.l1.Fill(t, true)
+			}
+		}
+	}
+	return precise
+}
+
+// LoadFloat implements Memory.
+func (s *Simulator) LoadFloat(pc, addr uint64, precise float64, approx bool) float64 {
+	return s.load(pc, addr, value.FromFloat(precise), approx).Float()
+}
+
+// LoadInt implements Memory.
+func (s *Simulator) LoadInt(pc, addr uint64, precise int64, approx bool) int64 {
+	return s.load(pc, addr, value.FromInt(precise), approx).Int()
+}
+
+// Store implements Memory. Stores are never approximated; misses
+// write-allocate.
+func (s *Simulator) Store(pc, addr uint64) {
+	s.record(pc, addr, value.Value{}, trace.Store, false)
+	s.insts++
+	s.stores++
+	if !s.l1.Store(addr) {
+		s.fetches++
+		s.l1.Fill(addr, false)
+		s.l1.MarkDirty(addr)
+	} else {
+		s.l1.MarkDirty(addr)
+	}
+}
+
+// Result finalizes (drains pending trainings) and returns the metrics.
+func (s *Simulator) Result() Result {
+	if s.approx != nil {
+		s.approx.Drain()
+	}
+	r := Result{
+		Instructions: s.insts,
+		Loads:        s.loads,
+		Stores:       s.stores,
+		LoadMisses:   s.misses,
+		Covered:      s.covered,
+		Fetches:      s.fetches,
+		StaticPCs:    len(s.approxPC),
+		Cache:        s.l1.Stats(),
+	}
+	if s.approx != nil {
+		r.Approx = s.approx.Stats()
+	}
+	if s.pref != nil {
+		r.Prefetch = s.pref.Stats()
+	}
+	return r
+}

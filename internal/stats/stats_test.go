@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "hits"}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestRatioAndPerKilo(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := PerKilo(5, 1000); got != 5 {
+		t.Fatalf("PerKilo = %v", got)
+	}
+	if PerKilo(5, 0) != 0 {
+		t.Fatal("PerKilo with zero units must be 0")
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if SafeDiv(1, 0) != 0 || SafeDiv(6, 3) != 2 {
+		t.Fatal("SafeDiv")
+	}
+}
+
+func TestMeanMedianStddev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Fatal("odd median")
+	}
+	if got := Stddev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("Stddev of constants = %v", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty-input conventions")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Geomean = %v", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	// Non-positive entries are clamped, not fatal.
+	if got := Geomean([]float64{0, 4}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("clamped geomean = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-2, 0, 3) != 0 || Clamp(1, 0, 3) != 1 {
+		t.Fatal("Clamp")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-2, 0, 3) != 0 || ClampInt(1, 0, 3) != 1 {
+		t.Fatal("ClampInt")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.123); got != "12.3%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", "%.2f", 2.5)
+	out := tbl.String()
+	for _, want := range []string{"demo", "name", "alpha", "2.50", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	// Columns must be aligned: every line of the body shares the prefix
+	// width of the widest first column ("alpha").
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x", "extra", "cells")
+	if !strings.Contains(tbl.String(), "cells") {
+		t.Fatal("extra cells must be rendered")
+	}
+}

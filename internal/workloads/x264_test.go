@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"lva/internal/memsim"
+)
+
+func smallX264() *X264 {
+	x := NewX264()
+	x.Width, x.Height, x.Frames = 96, 64, 3
+	return x
+}
+
+func TestX264FinerQuantImprovesPSNRAndCostsBits(t *testing.T) {
+	coarse := smallX264()
+	coarse.Quant = 16
+	fine := smallX264()
+	fine.Quant = 4
+	co, _ := runPrecise(coarse, 3)
+	fo, _ := runPrecise(fine, 3)
+	c, f := co.(X264Output), fo.(X264Output)
+	if f.PSNR <= c.PSNR {
+		t.Fatalf("finer quantization must raise PSNR: %v vs %v", f.PSNR, c.PSNR)
+	}
+	if f.Bits <= c.Bits {
+		t.Fatalf("finer quantization must cost bits: %v vs %v", f.Bits, c.Bits)
+	}
+}
+
+func TestX264MotionSearchHelps(t *testing.T) {
+	// With a search range, the encoder finds the moving objects and the
+	// residual (bit cost) drops versus zero-motion-only encoding.
+	still := smallX264()
+	still.SearchRange = 0 // degenerate: only the (0,0) candidate
+	moving := smallX264()
+	so, _ := runPrecise(still, 5)
+	mo, _ := runPrecise(moving, 5)
+	s, m := so.(X264Output), mo.(X264Output)
+	if m.Bits >= s.Bits {
+		t.Fatalf("motion search must reduce bit cost: %v vs %v", m.Bits, s.Bits)
+	}
+}
+
+func TestX264ReasonablePSNRUnderLVA(t *testing.T) {
+	// The paper's story for x264: pixels have a bounded range, averages
+	// stay in range, so error is near zero even at full coverage.
+	x := smallX264()
+	precise, _ := runPrecise(x, 7)
+	sim := memsim.New(memsim.DefaultConfig())
+	approx := x.Run(sim, 7)
+	e := approx.Error(precise)
+	if e > 0.10 {
+		t.Fatalf("x264 output error %.1f%% too high under LVA", e*100)
+	}
+	if sim.Result().Coverage() < 0.5 {
+		t.Fatalf("x264 reference pixels should be highly covered: %.1f%%",
+			sim.Result().Coverage()*100)
+	}
+}
+
+func TestX264StaticSitesAreTheLargest(t *testing.T) {
+	// Figure 12: x264 tops the static approximate-PC count (its unrolled
+	// SAD, half-pel and intra loops each contribute distinct sites).
+	x := smallX264()
+	sim := memsim.New(memsim.DefaultConfig())
+	x.Run(sim, 9)
+	xPCs := sim.Result().StaticPCs
+	bt := NewBodytrack()
+	bt.Frames, bt.Particles = 2, 32
+	sim2 := memsim.New(memsim.DefaultConfig())
+	bt.Run(sim2, 9)
+	if xPCs <= sim2.Result().StaticPCs {
+		t.Fatalf("x264 static PCs (%d) must exceed bodytrack's (%d)",
+			xPCs, sim2.Result().StaticPCs)
+	}
+}
+
+func TestSynthPixelBounds(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		v := synthPixel(rng, i%96, (i/96)%64, i%6)
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %d out of 8-bit range", v)
+		}
+	}
+}
+
+func TestAbsI64(t *testing.T) {
+	if absI64(-9) != 9 || absI64(9) != 9 || absI64(0) != 0 {
+		t.Fatal("absI64")
+	}
+}
