@@ -1,0 +1,106 @@
+// Command lvalint runs the repository's custom static-analysis suite: the
+// determinism and validation invariants the simulator's credibility rests
+// on (seeded randomness, validated configs, documented panic contracts,
+// race-free fan-out, order-independent FP accumulation).
+//
+// Usage:
+//
+//	go run ./cmd/lvalint ./...            # lint every package
+//	go run ./cmd/lvalint ./internal/core  # lint one package
+//	go run ./cmd/lvalint -list            # describe the analyzers
+//
+// Findings print as file:line: [analyzer] message; the process exits 1 when
+// any unsuppressed finding remains and 2 on load/type errors. A finding is
+// suppressed by a `//lint:ignore <analyzer> <reason>` comment on the same
+// line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lva/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(flag.Args(), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "lvalint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, verbose bool) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		return err
+	}
+	dirs, err := lint.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		return err
+	}
+
+	var pkgs []*lint.Package
+	loadFailed := false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvalint: %v\n", err)
+			loadFailed = true
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "lvalint: %s: %v\n", pkg.Path, terr)
+			loadFailed = true
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if loadFailed {
+		os.Exit(2)
+	}
+
+	findings := lint.Run(loader.Fset(), pkgs, lint.Analyzers())
+	failed := false
+	for _, f := range findings {
+		if f.Suppressed {
+			if verbose {
+				fmt.Printf("%s (suppressed: %s)\n", rel(modRoot, f), f.SuppressReason)
+			}
+			continue
+		}
+		fmt.Println(rel(modRoot, f))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// rel renders a finding with the filename relative to the module root.
+func rel(modRoot string, f lint.Finding) string {
+	if r, err := filepath.Rel(modRoot, f.Pos.Filename); err == nil {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}

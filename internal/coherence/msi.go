@@ -58,7 +58,10 @@ type Directory struct {
 	Flushes uint64
 }
 
-// NewDirectory builds a directory for n nodes (n <= 64).
+// NewDirectory builds a directory for n nodes. It panics if n is outside
+// [1,64] (the sharer bitmask is a uint64): node counts are fixed experiment
+// parameters, so an illegal one is a programming error, not a runtime
+// condition.
 func NewDirectory(n int) *Directory {
 	if n <= 0 || n > 64 {
 		panic(fmt.Sprintf("coherence: node count %d out of range [1,64]", n))

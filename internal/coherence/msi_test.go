@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -122,15 +123,27 @@ func TestEvict(t *testing.T) {
 }
 
 func TestNewDirectoryBounds(t *testing.T) {
+	// The panic message is a documented contract (see NewDirectory's
+	// comment and the nopanic analyzer): it must name the valid range.
 	for _, n := range []int{0, -1, 65} {
 		func() {
 			defer func() {
-				if recover() == nil {
+				r := recover()
+				if r == nil {
 					t.Errorf("NewDirectory(%d) must panic", n)
+					return
+				}
+				want := fmt.Sprintf("coherence: node count %d out of range [1,64]", n)
+				if r != want {
+					t.Errorf("NewDirectory(%d) panic = %v, want %q", n, r, want)
 				}
 			}()
 			NewDirectory(n)
 		}()
+	}
+	// Boundary values must not panic.
+	if NewDirectory(1) == nil || NewDirectory(64) == nil {
+		t.Fatal("in-range node counts must build a directory")
 	}
 }
 

@@ -33,13 +33,6 @@ func forEachWorkload(fn func(i int, w workloads.Workload)) {
 	wg.Wait()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // lvaRow runs cfgFor(w) under LVA for every benchmark concurrently and
 // returns the per-benchmark results in registry order.
 func lvaRow(cfgFor func(w workloads.Workload) core.Config) []RunResult {

@@ -94,16 +94,14 @@ func (f *Figure) Markdown() string {
 // figure's maximum value.
 func (f *Figure) Chart() string {
 	const width = 46
-	max := 0.0
+	peak := 0.0
 	for _, r := range f.Rows {
 		for _, v := range r.Values {
-			if v > max {
-				max = v
-			}
+			peak = max(peak, v)
 		}
 	}
-	if max == 0 {
-		max = 1
+	if peak == 0 {
+		peak = 1
 	}
 	labelW := 0
 	for _, r := range f.Rows {
@@ -120,7 +118,7 @@ func (f *Figure) Chart() string {
 				continue
 			}
 			v := r.Values[bi]
-			n := int(v / max * width)
+			n := int(v / peak * width)
 			if n < 0 {
 				n = 0
 			}

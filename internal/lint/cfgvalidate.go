@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// configTypePkgs are the packages whose Config structs carry experiment
+// parameters that must be validated before use. A composite literal of one
+// of these types in non-test code must start from the package's Default*
+// constructor, be handed straight to the package's New (which validates),
+// or flow through Validate in the same function.
+var configTypePkgs = map[string]bool{
+	"lva/internal/core":     true,
+	"lva/internal/memsim":   true,
+	"lva/internal/cache":    true,
+	"lva/internal/dram":     true,
+	"lva/internal/noc":      true,
+	"lva/internal/prefetch": true,
+	"lva/internal/fullsys":  true,
+}
+
+// cfgvalidateAnalyzer flags hand-rolled simulator configurations that skip
+// validation: a typo'd ad-hoc Config silently skews every downstream number
+// (§III-B/C confidence and degree machinery assume legal parameters).
+var cfgvalidateAnalyzer = &Analyzer{
+	Name: "cfgvalidate",
+	Doc:  "config struct literals must start from Default* or pass through Validate/New",
+	Run:  runCfgvalidate,
+}
+
+// configTypeName returns "pkg.Config" display form when t is one of the
+// guarded config types, else "".
+func configTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !configTypePkgs[obj.Pkg().Path()] || obj.Name() != "Config" {
+		return ""
+	}
+	return obj.Pkg().Name() + ".Config"
+}
+
+func runCfgvalidate(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				// Default* constructors are the blessed construction sites.
+				if strings.HasPrefix(d.Name.Name, "Default") {
+					continue
+				}
+				if d.Body != nil {
+					checkConfigLits(p, d.Body, blessedNames(p, d.Body))
+				}
+			case *ast.GenDecl:
+				// Package-level literals can never be validated in place.
+				checkConfigLits(p, d, nil)
+			}
+		}
+	}
+}
+
+// blessedNames collects identifiers that demonstrably pass through
+// validation inside the body: receivers of a .Validate() call and arguments
+// to a config package's New* constructor (which validates or panics).
+func blessedNames(p *Pass, body ast.Node) map[string]bool {
+	blessed := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+			if id, ok := unwrapIdent(sel.X); ok {
+				blessed[id] = true
+			}
+		}
+		if isConfigNewCall(p, call) {
+			for _, arg := range call.Args {
+				if id, ok := unwrapIdent(arg); ok {
+					blessed[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return blessed
+}
+
+// unwrapIdent strips parens, & and field selection down to the root
+// identifier: `&c`, `(c)`, `c.L1` all resolve to "c".
+func unwrapIdent(e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// isConfigNewCall reports whether call invokes a New* constructor belonging
+// to one of the config packages (those constructors validate their Config
+// and panic on error, so a literal handed to them is checked).
+func isConfigNewCall(p *Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = p.Pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Pkg.Info.Uses[fun]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !strings.HasPrefix(fn.Name(), "New") {
+		return false
+	}
+	return fn.Pkg() != nil && configTypePkgs[fn.Pkg().Path()]
+}
+
+// checkConfigLits walks root reporting unblessed outermost config literals.
+// Parents are tracked so a literal that is directly validated (passed to a
+// config New, receiver of an immediate .Validate(), or assigned to a
+// blessed name) is accepted; nested config literals inside an accepted
+// outer literal are accepted with it.
+func checkConfigLits(p *Pass, root ast.Node, blessed map[string]bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.CompositeLit); ok && len(lit.Elts) > 0 {
+			if name := configTypeName(p.Pkg.Info.TypeOf(lit)); name != "" {
+				if !litIsBlessed(p, lit, stack, blessed) {
+					p.Reportf(lit.Pos(), "%s built by hand without validation: start from %s, or pass it through Validate or the package's New before use",
+						name, strings.Replace(name, ".Config", ".DefaultConfig()", 1))
+				}
+				// Children are skipped: nested config literals share the
+				// outer literal's fate.
+				return false
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// litIsBlessed decides whether one outermost config literal is validated.
+func litIsBlessed(p *Pass, lit *ast.CompositeLit, stack []ast.Node, blessed map[string]bool) bool {
+	// Walk up through &, parens.
+	node := ast.Node(lit)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.UnaryExpr, *ast.ParenExpr:
+			node = stack[i]
+			continue
+		case *ast.CallExpr:
+			// Argument to a validating constructor.
+			if isConfigNewCall(p, parent) {
+				for _, arg := range parent.Args {
+					if arg == node {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			// (core.Config{...}).Validate() — immediate validation.
+			return parent.Sel.Name == "Validate" && parent.X == node
+		case *ast.AssignStmt:
+			for k, rhs := range parent.Rhs {
+				if rhs == node && k < len(parent.Lhs) {
+					if id, ok := unwrapIdent(parent.Lhs[k]); ok && blessed[id] {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, name := range parent.Names {
+				if blessed[name.Name] {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// detfloatAnalyzer catches a subtle nondeterminism source: floating-point
+// accumulation over Go map iteration. Map order varies run to run and FP
+// addition is not associative, so a sum accumulated in map order can differ
+// in the last bits between runs — enough to flip a rounded figure. Iterate
+// over sorted keys instead.
+var detfloatAnalyzer = &Analyzer{
+	Name: "detfloat",
+	Doc:  "floating-point accumulation over map iteration is order-nondeterministic; sort keys first",
+	Run:  runDetfloat,
+}
+
+func runDetfloat(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(p, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody flags float accumulators updated inside a map-range
+// body: `sum += v`, `sum -= v`, `sum *= v`, `sum /= v` and the spelled-out
+// `sum = sum + v` where sum is declared outside the range body.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
+	declaredOutside := func(e ast.Expr) bool {
+		id, ok := unwrapIdentExpr(e)
+		if !ok {
+			return false
+		}
+		obj := p.Pkg.Info.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		pos := obj.Pos()
+		return pos < rs.Body.Pos() || pos > rs.Body.End()
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := p.Pkg.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(lhs) || !declaredOutside(lhs) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			p.Reportf(as.Pos(), "floating-point accumulation over map iteration order is nondeterministic: iterate over sorted keys instead")
+		case token.ASSIGN:
+			// sum = sum + v (or sum = v + sum).
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				lhsText := exprText(lhs)
+				if exprText(bin.X) == lhsText || exprText(bin.Y) == lhsText {
+					p.Reportf(as.Pos(), "floating-point accumulation over map iteration order is nondeterministic: iterate over sorted keys instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprText renders an expression for structural comparison.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings cancelled by a //lint:ignore comment.
+	Suppressed bool
+	// SuppressReason is the justification given in the ignore comment.
+	SuppressReason string
+}
+
+// String renders the finding in the canonical file:line: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the id used in reports and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for the driver's usage text.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	Pkg      *Package
+	Fset     *token.FileSet
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// isFixturePath reports whether the package is a lint test fixture; fixtures
+// opt in to every analyzer regardless of its normal package scope.
+func isFixturePath(path string) bool {
+	return strings.Contains(path, "/lint/testdata/")
+}
+
+// isInternalPath reports whether the package sits under the module's
+// internal/ tree.
+func isInternalPath(path string) bool {
+	return strings.Contains(path, "/internal/")
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		seedrandAnalyzer,
+		cfgvalidateAnalyzer,
+		nopanicAnalyzer,
+		loopcaptureAnalyzer,
+		detfloatAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the named analyzer or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	analyzer string // specific analyzer name or "all"
+	reason   string
+	used     bool
+}
+
+// suppressionKey addresses a suppression by file and line.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// collectSuppressions parses //lint:ignore <analyzer> <reason> comments.
+// A suppression cancels matching findings on its own line and on the line
+// immediately below (so it can trail a statement or precede one). Malformed
+// comments (missing reason) are reported as findings of the "lint" pseudo
+// analyzer so they cannot silently disable checks.
+func collectSuppressions(fset *token.FileSet, pkgs []*Package) (map[suppressionKey]*suppression, []Finding) {
+	sups := make(map[suppressionKey]*suppression)
+	var malformed []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					pos := fset.Position(c.Pos())
+					if len(fields) < 2 {
+						malformed = append(malformed, Finding{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:ignore: need an analyzer name and a reason",
+						})
+						continue
+					}
+					s := &suppression{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+					sups[suppressionKey{pos.Filename, pos.Line}] = s
+				}
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppressions and returns all findings (suppressed ones included, marked)
+// sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Fset: fset, analyzer: a, findings: &findings}
+			a.Run(pass)
+		}
+	}
+	sups, malformed := collectSuppressions(fset, pkgs)
+	for i := range findings {
+		f := &findings[i]
+		for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+			s, ok := sups[suppressionKey{f.Pos.Filename, line}]
+			if ok && (s.analyzer == "all" || s.analyzer == f.Analyzer) {
+				f.Suppressed = true
+				f.SuppressReason = s.reason
+				s.used = true
+				break
+			}
+		}
+	}
+	findings = append(findings, malformed...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// Unsuppressed filters findings down to the ones that should fail the gate.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// enclosingFuncDecl returns the function declaration containing pos, if any.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches one Loader (and thus one type-checked stdlib) across
+// all tests in this package.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		cwd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := FindModuleRoot(cwd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadFixture loads one testdata package and fails the test on type errors:
+// a fixture that does not compile tests nothing.
+func loadFixture(t *testing.T, l *Loader, name string) *Package {
+	t.Helper()
+	pkg, err := l.LoadDir(filepath.Join(l.ModDir(), "internal", "lint", "testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	return pkg
+}
+
+// wantLines extracts the `// want:<analyzer>` markers from a fixture.
+func wantLines(l *Loader, pkg *Package, analyzer string) map[int]bool {
+	want := make(map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, "want:"); ok && strings.TrimSpace(rest) == analyzer {
+					want[l.Fset().Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return want
+}
+
+func lineSet(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestFixtures runs each analyzer over its bad and good fixture packages
+// and requires the findings to match the `// want:<analyzer>` markers
+// exactly — every bad case flagged, every good case silent.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer string
+		bad      bool
+	}{
+		{"seedrand_bad", "seedrand", true},
+		{"seedrand_good", "seedrand", false},
+		{"cfgvalidate_bad", "cfgvalidate", true},
+		{"cfgvalidate_good", "cfgvalidate", false},
+		{"nopanic_bad", "nopanic", true},
+		{"nopanic_good", "nopanic", false},
+		{"loopcapture_bad", "loopcapture", true},
+		{"loopcapture_good", "loopcapture", false},
+		{"detfloat_bad", "detfloat", true},
+		{"detfloat_good", "detfloat", false},
+	}
+	l := testLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			a := AnalyzerByName(tc.analyzer)
+			if a == nil {
+				t.Fatalf("no analyzer named %q", tc.analyzer)
+			}
+			pkg := loadFixture(t, l, tc.dir)
+			want := wantLines(l, pkg, tc.analyzer)
+			if tc.bad && len(want) == 0 {
+				t.Fatalf("bad fixture %s has no want markers", tc.dir)
+			}
+			if !tc.bad && len(want) != 0 {
+				t.Fatalf("good fixture %s has want markers", tc.dir)
+			}
+			got := make(map[int]bool)
+			for _, f := range Unsuppressed(Run(l.Fset(), []*Package{pkg}, []*Analyzer{a})) {
+				if f.Analyzer != tc.analyzer {
+					t.Errorf("unexpected %s finding in %s: %s", f.Analyzer, tc.dir, f)
+					continue
+				}
+				got[f.Pos.Line] = true
+			}
+			for line := range want {
+				if !got[line] {
+					t.Errorf("%s: expected %s finding on line %d, got none", tc.dir, tc.analyzer, line)
+				}
+			}
+			for line := range got {
+				if !want[line] {
+					t.Errorf("%s: unexpected %s finding on line %d", tc.dir, tc.analyzer, line)
+				}
+			}
+			if t.Failed() {
+				t.Logf("want lines %v, got lines %v", lineSet(want), lineSet(got))
+			}
+		})
+	}
+}
+
+// TestSuppression checks the //lint:ignore mechanism end to end: valid
+// suppressions (line-above and same-line) cancel findings and carry their
+// reasons; a reason-less suppression is not honored and is itself reported.
+func TestSuppression(t *testing.T) {
+	l := testLoader(t)
+	pkg := loadFixture(t, l, "suppressed")
+	findings := Run(l.Fset(), []*Package{pkg}, Analyzers())
+
+	var suppressed, unsuppressed, malformed []Finding
+	for _, f := range findings {
+		switch {
+		case f.Suppressed:
+			suppressed = append(suppressed, f)
+		case f.Analyzer == "lint":
+			malformed = append(malformed, f)
+		default:
+			unsuppressed = append(unsuppressed, f)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Errorf("want 2 suppressed seedrand findings, got %d: %v", len(suppressed), suppressed)
+	}
+	for _, f := range suppressed {
+		if f.Analyzer != "seedrand" || f.SuppressReason == "" {
+			t.Errorf("suppressed finding missing analyzer/reason: %+v", f)
+		}
+	}
+	if len(malformed) != 1 {
+		t.Errorf("want 1 malformed-suppression finding, got %d: %v", len(malformed), malformed)
+	}
+	want := wantLines(l, pkg, "nopanic")
+	if len(unsuppressed) != len(want) {
+		t.Errorf("want %d unsuppressed findings, got %d: %v", len(want), len(unsuppressed), unsuppressed)
+	}
+	for _, f := range unsuppressed {
+		if f.Analyzer != "nopanic" || !want[f.Pos.Line] {
+			t.Errorf("unexpected unsuppressed finding: %s", f)
+		}
+	}
+}
+
+// TestSelfClean is the gate future PRs must keep green: the full analyzer
+// suite over every package in the repository reports zero unsuppressed
+// findings.
+func TestSelfClean(t *testing.T) {
+	l := testLoader(t)
+	dirs, err := ExpandPatterns(l.ModDir(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("expanding ./...: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole repo, got only %d packages", len(pkgs))
+	}
+	for _, f := range Unsuppressed(Run(l.Fset(), pkgs, Analyzers())) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// TestExpandPatternsTestdata checks that explicit testdata patterns are
+// honored (the fixtures must be reachable by the CLI) while plain walks
+// skip testdata.
+func TestExpandPatternsTestdata(t *testing.T) {
+	l := testLoader(t)
+	all, err := ExpandPatterns(l.ModDir(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range all {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("./... walk included testdata dir %s", d)
+		}
+	}
+	fixtures, err := ExpandPatterns(l.ModDir(), []string{"./internal/lint/testdata/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) < 10 {
+		t.Errorf("testdata walk found only %d fixture dirs", len(fixtures))
+	}
+}

@@ -1,0 +1,302 @@
+// Package lint implements lvalint, the repository's custom static-analysis
+// pass. It loads packages with the standard library's go/parser and go/types
+// (no external module dependencies) and runs a suite of project-specific
+// analyzers that enforce the simulator's determinism and validation
+// invariants: seeded randomness, validated configurations, documented panic
+// contracts, race-free goroutine writes and order-independent floating-point
+// accumulation. See DESIGN.md "Static analysis & determinism guarantees".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path within the module (e.g. lva/internal/core).
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files are the parsed sources, including in-package _test.go files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's resolution tables.
+	Info *types.Info
+	// TypeErrors collects type-check problems; analyzers still run on a
+	// package with errors, but the driver reports them separately.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages inside one module, resolving
+// intra-module imports itself and delegating everything else to the
+// standard library's source importer (export data for the stdlib is not
+// shipped with modern toolchains, so "source" mode is the dependency-free
+// option).
+type Loader struct {
+	fset     *token.FileSet
+	modDir   string
+	modPath  string
+	pkgs     map[string]*Package
+	loading  map[string]bool
+	fallback types.Importer
+}
+
+// NewLoader builds a loader rooted at the module directory containing
+// go.mod. The module path is read from go.mod's module directive.
+func NewLoader(modDir string) (*Loader, error) {
+	abs, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:     fset,
+		modDir:   abs,
+		modPath:  modPath,
+		pkgs:     make(map[string]*Package),
+		loading:  make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModDir returns the absolute module root.
+func (l *Loader) ModDir() string { return l.modDir }
+
+// importPathFor maps an absolute directory inside the module to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modDir)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport maps an intra-module import path to its directory, or ""
+// when the path belongs to another module.
+func (l *Loader) dirForImport(path string) string {
+	if path == l.modPath {
+		return l.modDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer: intra-module paths are loaded (and
+// cached) by the loader itself; everything else falls back to the source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirForImport(path); dir != "" {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// LoadDir parses and type-checks the package in one directory. In-package
+// _test.go files are included; external (_test-suffixed) test packages are
+// skipped. Results are cached by import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(abs, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", abs)
+	}
+
+	// Pick the primary (non-external-test) package name and keep only its
+	// files: the package's own sources plus in-package tests.
+	primary := ""
+	for _, f := range files {
+		if n := f.Name.Name; !strings.HasSuffix(n, "_test") {
+			primary = n
+			break
+		}
+	}
+	if primary == "" {
+		return nil, fmt.Errorf("lint: only external test files in %s", abs)
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == primary {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{Path: path, Dir: abs, Files: files, Info: info}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ExpandPatterns resolves command-line package patterns to directories.
+// Supported forms: "./...", "dir/...", "dir" and "." (all relative to cwd).
+// Walks skip testdata, vendor and hidden directories unless the pattern
+// root itself lies inside a testdata tree (so fixtures can be linted
+// explicitly).
+func ExpandPatterns(cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = cwd
+			} else if !filepath.IsAbs(root) {
+				root = filepath.Join(cwd, root)
+			}
+			inTestdata := strings.Contains(root, string(filepath.Separator)+"testdata")
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+						name == "vendor" || (name == "testdata" && !inTestdata)) {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if strings.HasSuffix(d.Name(), ".go") {
+					add(filepath.Dir(p))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

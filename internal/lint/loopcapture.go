@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// loopcaptureAnalyzer guards the experiment drivers' fan-out pattern: a
+// goroutine may fill a shared result slice only through an index that is
+// fresh per goroutine (a parameter, a local, or a per-iteration loop
+// variable), and may not write captured variables at all unless a mutex is
+// visibly held. Violations are exactly the data races that turn a
+// deterministic sweep into run-to-run noise.
+var loopcaptureAnalyzer = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "goroutines must write shared slices index-disjointly and captured variables under a lock",
+	Run:  runLoopcapture,
+}
+
+func runLoopcapture(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		// Track the loops enclosing each go statement so per-iteration
+		// declarations count as fresh.
+		var loops []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+				ast.Inspect(n, func(m ast.Node) bool {
+					if m == n {
+						return true
+					}
+					return walk(m)
+				})
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutine(p, lit, loops)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// checkGoroutine inspects one `go func(...){...}(...)` literal.
+func checkGoroutine(p *Pass, lit *ast.FuncLit, loops []ast.Node) {
+	fresh := func(obj types.Object) bool {
+		if obj == nil {
+			return true // unresolved: give the benefit of the doubt
+		}
+		pos := obj.Pos()
+		if lit.Pos() <= pos && pos <= lit.End() {
+			return true // parameter of, or declared inside, the literal
+		}
+		for _, l := range loops {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true // loop variable or loop-body local: per iteration
+			}
+		}
+		return false
+	}
+
+	// lockHeld records statements lexically preceded by a .Lock() call in
+	// the same block: the repo's convention for guarded shared updates.
+	locked := make(map[ast.Stmt]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		held := false
+		for _, stmt := range block.List {
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Lock", "RLock":
+							held = true
+						case "Unlock", "RUnlock":
+							held = false
+						}
+					}
+				}
+			}
+			if held {
+				locked[stmt] = true
+			}
+		}
+		return true
+	})
+
+	var stmtStack []ast.Stmt
+	underLock := func() bool {
+		for _, s := range stmtStack {
+			if locked[s] {
+				return true
+			}
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, target ast.Expr) {
+		if underLock() {
+			return
+		}
+		switch t := target.(type) {
+		case *ast.IndexExpr:
+			p.Reportf(pos, "goroutine writes shared slice element without index-disjoint access: pass the index as a goroutine parameter or guard the write with a mutex")
+		case *ast.Ident:
+			p.Reportf(pos, "goroutine writes captured variable %s without synchronization: pass it as a parameter or guard the write with a mutex", t.Name)
+		default:
+			p.Reportf(pos, "goroutine writes captured state without synchronization")
+		}
+	}
+
+	checkTarget := func(pos token.Pos, target ast.Expr) {
+		switch t := target.(type) {
+		case *ast.IndexExpr:
+			rootName, ok := unwrapIdentExpr(t.X)
+			if !ok || fresh(p.Pkg.Info.ObjectOf(rootName)) {
+				return
+			}
+			if _, isSlice := p.Pkg.Info.TypeOf(t.X).Underlying().(*types.Slice); !isSlice {
+				return
+			}
+			// The write is index-disjoint when the index depends on at
+			// least one per-goroutine-fresh identifier.
+			disjoint := false
+			hasIdent := false
+			ast.Inspect(t.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := p.Pkg.Info.ObjectOf(id); obj != nil && obj.Parent() != types.Universe {
+						hasIdent = true
+						if fresh(obj) {
+							disjoint = true
+						}
+					}
+				}
+				return true
+			})
+			if !hasIdent || !disjoint {
+				report(pos, t)
+			}
+		case *ast.Ident:
+			if obj := p.Pkg.Info.ObjectOf(t); obj != nil && !fresh(obj) {
+				report(pos, t)
+			}
+		}
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			if len(stmtStack) > 0 {
+				stmtStack = stmtStack[:len(stmtStack)-1]
+			}
+			return true
+		}
+		if stmt, ok := n.(ast.Stmt); ok {
+			stmtStack = append(stmtStack, stmt)
+		} else {
+			stmtStack = append(stmtStack, nil)
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					checkTarget(n.Pos(), lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.Pos(), n.X)
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, visit)
+}
+
+// unwrapIdentExpr strips selectors/parens/indexing down to the root
+// identifier node.
+func unwrapIdentExpr(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

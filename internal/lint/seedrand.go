@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// seedrandAnalyzer enforces the reproducibility invariant behind every
+// number in the paper's figures: all randomness inside internal/ must flow
+// through the seeded workloads.RNG. It forbids math/rand (whose global
+// functions are seeded from runtime entropy) and time-derived seed material
+// such as time.Now().UnixNano().
+var seedrandAnalyzer = &Analyzer{
+	Name: "seedrand",
+	Doc:  "forbid math/rand and time-derived seeds in internal/; use the seeded workloads.RNG",
+	Run:  runSeedrand,
+}
+
+func runSeedrand(p *Pass) {
+	if !isInternalPath(p.Pkg.Path) && !isFixturePath(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: simulator randomness must flow through the seeded workloads.RNG so runs are reproducible", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "UnixNano", "Unix", "UnixMilli", "UnixMicro", "Nanosecond":
+			default:
+				return true
+			}
+			inner, ok := sel.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTimeNow(p, inner) {
+				p.Reportf(call.Pos(), "time-derived value is nondeterministic seed material; derive seeds from the experiment's fixed seed instead")
+			}
+			return true
+		})
+	}
+}
+
+// isTimeNow reports whether call is time.Now().
+func isTimeNow(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "time"
+}

@@ -1,0 +1,20 @@
+// Package cfgvalidate_bad exercises the cfgvalidate analyzer's failure
+// cases: hand-rolled config literals that never meet Validate.
+package cfgvalidate_bad
+
+import (
+	"lva/internal/cache"
+	"lva/internal/core"
+)
+
+// HandRolled builds an approximator config from scratch and returns it
+// unvalidated.
+func HandRolled() core.Config {
+	cfg := core.Config{TableEntries: 500, TableWays: 1, LHBSize: 4} // want:cfgvalidate
+	return cfg
+}
+
+// InlineReturn returns an unvalidated literal directly.
+func InlineReturn() cache.Config {
+	return cache.Config{SizeBytes: 1000, Ways: 3, BlockBytes: 48} // want:cfgvalidate
+}

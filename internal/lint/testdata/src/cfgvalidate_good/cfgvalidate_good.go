@@ -1,0 +1,36 @@
+// Package cfgvalidate_good shows the blessed construction patterns for
+// simulator configs.
+package cfgvalidate_good
+
+import (
+	"lva/internal/cache"
+	"lva/internal/core"
+)
+
+// FromDefault starts from the package's Default constructor and tweaks
+// fields; no literal is involved.
+func FromDefault() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Degree = 2
+	return cfg
+}
+
+// Validated builds a literal but passes it through Validate before use.
+func Validated() (core.Config, error) {
+	cfg := core.Config{TableEntries: 512, TableWays: 1, TagBits: 21, ConfidenceBits: 4, LHBSize: 4}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// HandedToNew relies on the constructor's validation.
+func HandedToNew() *cache.Cache {
+	return cache.New(cache.Config{SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 1})
+}
+
+// DefaultSmall is a Default* constructor: the one place literals are
+// expected to originate.
+func DefaultSmall() cache.Config {
+	return cache.Config{SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64, LatencyCycles: 1}
+}

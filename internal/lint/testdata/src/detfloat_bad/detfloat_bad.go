@@ -1,0 +1,21 @@
+// Package detfloat_bad exercises the detfloat analyzer's failure cases:
+// float accumulation in map order.
+package detfloat_bad
+
+// SumCompound accumulates with += while ranging over a map.
+func SumCompound(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want:detfloat
+	}
+	return sum
+}
+
+// SumSpelledOut accumulates with the spelled-out form.
+func SumSpelledOut(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want:detfloat
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Package detfloat_good shows the blessed pattern: accumulate over sorted
+// keys so the order (and hence the rounding) is identical every run.
+package detfloat_good
+
+import "sort"
+
+// SumSorted accumulates in sorted-key order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// CountKeys ranges over the map with integer accumulation: ordering cannot
+// affect an integer sum.
+func CountKeys(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+// Package loopcapture_bad exercises the loopcapture analyzer's failure
+// cases: goroutines racing on captured state.
+package loopcapture_bad
+
+import "sync"
+
+// SharedIndex launches workers that all write the same slice element: the
+// index is captured from outside the loop, so the writes race.
+func SharedIndex(out []int) {
+	var wg sync.WaitGroup
+	k := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[k] = 1 // want:loopcapture
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedCounter increments a captured counter without a lock.
+func SharedCounter() int {
+	var wg sync.WaitGroup
+	done := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done++ // want:loopcapture
+		}()
+	}
+	wg.Wait()
+	return done
+}

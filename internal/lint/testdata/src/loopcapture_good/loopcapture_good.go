@@ -1,0 +1,55 @@
+// Package loopcapture_good shows the blessed fan-out patterns: index
+// disjointness through parameters or per-iteration variables, and locked
+// shared updates.
+package loopcapture_good
+
+import "sync"
+
+// ParamIndex passes the loop index as a goroutine parameter; each worker
+// owns its slot.
+func ParamIndex(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// IterLocal writes through a variable declared inside the loop body, fresh
+// per iteration.
+func IterLocal(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		slot := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[slot] = slot
+		}()
+	}
+	wg.Wait()
+}
+
+// LockedCounter guards the shared counter with a mutex.
+func LockedCounter(n int) int {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			done++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return done
+}

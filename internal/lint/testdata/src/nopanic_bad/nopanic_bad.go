@@ -1,0 +1,21 @@
+// Package nopanic_bad exercises the nopanic analyzer's failure cases.
+package nopanic_bad
+
+import "fmt"
+
+// Lookup returns the element at i. Nothing in this comment warns the
+// caller that an out-of-range index brings the process down.
+func Lookup(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic(fmt.Sprintf("index %d out of range", i)) // want:nopanic
+	}
+	return xs[i]
+}
+
+// Halve divides by two.
+func Halve(n int) int {
+	if n%2 != 0 {
+		panic("odd input") // want:nopanic
+	}
+	return n / 2
+}

@@ -1,0 +1,26 @@
+// Package nopanic_good shows the blessed patterns: documented panic
+// contracts on constructors and error returns everywhere else.
+package nopanic_good
+
+import "fmt"
+
+// Thing is a stand-in for a model with a validating constructor.
+type Thing struct{ n int }
+
+// New builds a Thing; it panics if n is not positive since sizes are fixed
+// experiment parameters.
+func New(n int) *Thing {
+	if n <= 0 {
+		panic(fmt.Sprintf("nopanic_good: size %d out of range [1,inf)", n))
+	}
+	return &Thing{n: n}
+}
+
+// Div returns a/b, reporting division by zero as an error instead of
+// crashing the sweep.
+func Div(a, b int) (int, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("nopanic_good: division by zero")
+	}
+	return a / b, nil
+}

@@ -1,0 +1,18 @@
+// Package seedrand_bad exercises the seedrand analyzer's failure cases.
+package seedrand_bad
+
+import (
+	"math/rand" // want:seedrand
+	"time"
+)
+
+// Roll draws from the process-global, runtime-seeded generator: two runs of
+// the same experiment would see different inputs.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Seed derives seed material from the wall clock.
+func Seed() uint64 {
+	return uint64(time.Now().UnixNano()) // want:seedrand
+}

@@ -1,0 +1,19 @@
+// Package seedrand_good shows the blessed pattern: deterministic, seeded
+// randomness and wall-clock use that never feeds a seed.
+package seedrand_good
+
+import "time"
+
+// Next is a seeded xorshift step, the same construction as workloads.RNG.
+func Next(s uint64) uint64 {
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Elapsed measures wall time for progress reporting; durations are fine,
+// only seed material is not.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,30 @@
+// Package suppressed exercises the //lint:ignore mechanism: every finding
+// here is explicitly acknowledged, so the gate must pass, and a malformed
+// ignore must itself be reported.
+package suppressed
+
+import (
+	//lint:ignore seedrand fixture demonstrating an acknowledged exception
+	"math/rand"
+	"time"
+)
+
+// Roll documents an acknowledged use of the global generator.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Seed has a trailing same-line suppression.
+func Seed() uint64 {
+	return uint64(time.Now().UnixNano()) //lint:ignore seedrand fixture demonstrating same-line suppression
+}
+
+// Lookup carries a suppression with a missing reason, which the driver
+// must flag instead of honoring.
+func Lookup(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		//lint:ignore nopanic
+		panic("out of range") // want:nopanic
+	}
+	return xs[i]
+}

@@ -181,10 +181,13 @@ func (s *Simulator) Capture(name string) {
 // TakeTrace returns the captured trace (nil if Capture was not called).
 func (s *Simulator) TakeTrace() *trace.Trace { return s.rec }
 
-// SetThread implements Memory.
+// SetThread implements Memory. It panics if t is outside [0,255], the
+// range the trace encoding's uint8 thread field can represent: thread ids
+// come from fixed workload topology, so an illegal one is a programming
+// error.
 func (s *Simulator) SetThread(t int) {
 	if t < 0 || t > 255 {
-		panic(fmt.Sprintf("memsim: thread id %d out of range", t))
+		panic(fmt.Sprintf("memsim: thread id %d out of range [0,255]", t))
 	}
 	s.thread = uint8(t)
 }

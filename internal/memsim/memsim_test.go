@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"fmt"
 	"testing"
 
 	"lva/internal/trace"
@@ -184,13 +185,28 @@ func TestTraceCapture(t *testing.T) {
 }
 
 func TestSetThreadBounds(t *testing.T) {
+	// The panic message is a documented contract (see SetThread's comment
+	// and the nopanic analyzer): it must name the valid range.
+	for _, id := range []int{-1, 256} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("SetThread(%d) must panic", id)
+					return
+				}
+				want := fmt.Sprintf("memsim: thread id %d out of range [0,255]", id)
+				if r != want {
+					t.Errorf("SetThread(%d) panic = %v, want %q", id, r, want)
+				}
+			}()
+			New(testConfig(AttachNone)).SetThread(id)
+		}()
+	}
+	// Boundary ids are accepted.
 	s := New(testConfig(AttachNone))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range thread must panic")
-		}
-	}()
-	s.SetThread(256)
+	s.SetThread(0)
+	s.SetThread(255)
 }
 
 func TestLVPForcesAlwaysFetch(t *testing.T) {

@@ -63,13 +63,11 @@ func (t *Trace) Len() int { return len(t.Accesses) }
 
 // Threads returns 1 + the highest thread id present (0 for an empty trace).
 func (t *Trace) Threads() int {
-	max := -1
+	hi := -1
 	for _, a := range t.Accesses {
-		if int(a.Thread) > max {
-			max = int(a.Thread)
-		}
+		hi = max(hi, int(a.Thread))
 	}
-	return max + 1
+	return hi + 1
 }
 
 // Split partitions the trace into per-thread sub-traces, preserving order.

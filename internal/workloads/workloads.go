@@ -95,7 +95,8 @@ func (r *RNG) Uint64() uint64 {
 // Float64 returns a uniform float in [0,1).
 func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
 
-// Intn returns a uniform int in [0,n).
+// Intn returns a uniform int in [0,n). It panics if n is not positive,
+// mirroring math/rand's contract.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("workloads: Intn with non-positive n")
