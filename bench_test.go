@@ -119,6 +119,49 @@ func BenchmarkFig13(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// End-to-end benchmarks: regenerating the whole registry through the run
+// cache, cold (every design point simulated once) and warm (every point a
+// cache hit).
+
+func BenchmarkRunAllCold(b *testing.B) {
+	var dedup float64
+	for i := 0; i < b.N; i++ {
+		lva.ResetRunCache()
+		if _, err := lva.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		dedup = lva.RunCacheCounters().DedupFraction()
+	}
+	b.ReportMetric(dedup*100, "dedup%")
+}
+
+func BenchmarkRunAllWarm(b *testing.B) {
+	lva.ResetRunCache()
+	if _, err := lva.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lva.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCacheHit measures the memo-store fast path: one already-
+// simulated design point served from the cache.
+func BenchmarkRunCacheHit(b *testing.B) {
+	w := lva.NewSwaptions()
+	cfg := experiments.BaselineFor(w)
+	experiments.RunLVA(w, cfg, experiments.DefaultSeed) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunLVA(w, cfg, experiments.DefaultSeed)
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks: throughput of the core hardware-model structures.
 
 func BenchmarkApproximatorOnMiss(b *testing.B) {

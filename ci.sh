@@ -8,6 +8,10 @@
 #   test   — go test ./...
 #   race   — go test -race ./...
 #
+# `./ci.sh bench` instead runs the benchmark suite once (-benchtime=1x) and
+# writes the machine-readable go-test event stream to BENCH_<stamp>.json so
+# CI can archive performance snapshots; it is advisory, not a gate.
+#
 # Tier-1 (the minimum every PR must keep green) is build + test; the other
 # steps are the determinism/validation gate this repo's results depend on.
 set -euo pipefail
@@ -17,6 +21,15 @@ step() {
     echo "==> $*"
     "$@"
 }
+
+if [[ "${1:-}" == "bench" ]]; then
+    stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+    out="BENCH_${stamp}.json"
+    echo "==> go test -bench (single iteration) -> ${out}"
+    go test -json -run '^$' -bench . -benchtime=1x -benchmem ./... > "${out}"
+    echo "ci.sh: benchmark snapshot written to ${out}"
+    exit 0
+fi
 
 step go build ./...
 step go vet ./...

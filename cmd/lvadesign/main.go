@@ -85,6 +85,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if !*quiet {
+		s := experiments.RunCacheCounters()
+		fmt.Fprintf(os.Stderr, "lvadesign: %d point(s); %d kernel simulation(s), %d run-cache hit(s)\n",
+			len(points), s.Simulated, s.Hits)
+	}
 
 	w := csv.NewWriter(dst)
 	if err := w.Write(experiments.CSVHeader()); err != nil {

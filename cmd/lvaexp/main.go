@@ -24,7 +24,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v, or 'all'\n", experiments.IDs())
 		flag.PrintDefaults()
 	}
-	verbose := flag.Bool("v", false, "print per-experiment timing")
+	verbose := flag.Bool("v", false, "print total timing and run-cache statistics")
 	format := flag.String("format", "table", "output format: table|csv|json|chart")
 	flag.Parse()
 
@@ -43,13 +43,22 @@ func main() {
 	}
 
 	for _, id := range ids {
-		driver, ok := experiments.Registry[id]
-		if !ok {
+		if _, ok := experiments.Registry[id]; !ok {
 			fmt.Fprintf(os.Stderr, "lvaexp: unknown experiment %q (valid: %v)\n", id, experiments.IDs())
 			os.Exit(2)
 		}
-		start := time.Now()
-		fig := driver()
+	}
+
+	// All requested experiments run concurrently: points from different
+	// figures interleave through the shared gate, and the run cache
+	// simulates every shared design point exactly once.
+	start := time.Now()
+	figs, err := experiments.RunAll(ids...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvaexp:", err)
+		os.Exit(2)
+	}
+	for _, fig := range figs {
 		switch *format {
 		case "table":
 			fmt.Println(fig.String())
@@ -68,8 +77,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lvaexp: unknown format %q\n", *format)
 			os.Exit(2)
 		}
-		if *verbose {
-			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
-		}
+	}
+	if *verbose {
+		s := experiments.RunCacheCounters()
+		fmt.Fprintf(os.Stderr, "lvaexp: %d experiment(s) in %v; %d kernel simulation(s), %d run-cache hit(s) (%.1f%% dedup)\n",
+			len(figs), time.Since(start).Round(time.Millisecond), s.Simulated, s.Hits, 100*s.DedupFraction())
 	}
 }

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Config describes a cache geometry.
@@ -73,6 +74,7 @@ type Cache struct {
 	cfg        Config
 	sets       [][]line
 	setMask    uint64
+	setBits    uint // popcount of setMask, precomputed: index/rebuild are the hottest ops
 	blockShift uint
 	clock      uint64
 	stats      Stats
@@ -91,15 +93,13 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = make([]line, cfg.Ways)
 	}
-	shift := uint(0)
-	for 1<<shift < cfg.BlockBytes {
-		shift++
-	}
+	mask := uint64(cfg.Sets() - 1)
 	return &Cache{
 		cfg:        cfg,
 		sets:       sets,
-		setMask:    uint64(cfg.Sets() - 1),
-		blockShift: shift,
+		setMask:    mask,
+		setBits:    uint(bits.OnesCount64(mask)),
+		blockShift: uint(bits.TrailingZeros64(uint64(cfg.BlockBytes))),
 	}
 }
 
@@ -114,15 +114,7 @@ func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift << c
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.blockShift
-	return blk & c.setMask, blk >> uint(popcount(c.setMask))
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x >>= 1 {
-		n += int(x & 1)
-	}
-	return n
+	return blk & c.setMask, blk >> c.setBits
 }
 
 func (c *Cache) find(set, tag uint64) int {
@@ -224,8 +216,7 @@ func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, wasValid, wa
 
 // rebuild reconstructs a block address from set index and tag.
 func (c *Cache) rebuild(set, tag uint64) uint64 {
-	setBits := uint(popcount(c.setMask))
-	return ((tag << setBits) | set) << c.blockShift
+	return ((tag << c.setBits) | set) << c.blockShift
 }
 
 // Invalidate removes the block containing addr if present, returning whether

@@ -294,12 +294,22 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 			}
 		}
 		a.clock++
-		a.table[t.set][victim] = entry{valid: true, tag: t.tag, conf: 0, degree: a.cfg.Degree, lru: a.clock}
+		// Reuse the victim's LHB backing array: retagging is frequent under
+		// hash aliasing and reallocation here dominated the miss path.
+		lhb := a.table[t.set][victim].lhb[:0]
+		a.table[t.set][victim] = entry{valid: true, tag: t.tag, conf: 0, degree: a.cfg.Degree, lru: a.clock, lhb: lhb}
 		e = &a.table[t.set][victim]
 	}
-	e.lhb = append(e.lhb, stored)
-	if len(e.lhb) > a.cfg.LHBSize {
-		e.lhb = e.lhb[1:]
+	// Maintain the LHB as a fixed window in place: append until full, then
+	// slide left, never re-slicing (which churned the backing array).
+	if e.lhb == nil {
+		e.lhb = make([]value.Value, 0, a.cfg.LHBSize)
+	}
+	if len(e.lhb) < a.cfg.LHBSize {
+		e.lhb = append(e.lhb, stored)
+	} else {
+		copy(e.lhb, e.lhb[1:])
+		e.lhb[len(e.lhb)-1] = stored
 	}
 
 	if !t.hadApprox {

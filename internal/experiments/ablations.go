@@ -31,24 +31,33 @@ func AblationTable() *Figure {
 		ValueUnit:  "normalized MPKI",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, entries := range ablationTableSizes {
+	ablationWays := []int{2, 4}
+	var b batch
+	precise := b.precise()
+	sizeRuns := make([][]RunResult, len(ablationTableSizes))
+	for si, entries := range ablationTableSizes {
 		entries := entries
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		sizeRuns[si] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableEntries = entries
 			return cfg
 		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("entries-%d", entries), Values: mpkiValues(runs, precise)})
 	}
-	for _, ways := range []int{2, 4} {
+	wayRuns := make([][]RunResult, len(ablationWays))
+	for wi, ways := range ablationWays {
 		ways := ways
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		wayRuns[wi] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableWays = ways
 			return cfg
 		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("512-entries-%d-way", ways), Values: mpkiValues(runs, precise)})
+	}
+	b.run()
+	for si, entries := range ablationTableSizes {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("entries-%d", entries), Values: mpkiValues(sizeRuns[si], precise)})
+	}
+	for wi, ways := range ablationWays {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("512-entries-%d-way", ways), Values: mpkiValues(wayRuns[wi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper §VII-A: the table only needs to hold ~300 entries; LVA is feasible on a small hardware budget")
 	return f
@@ -64,17 +73,23 @@ func AblationCompute() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, kind := range []core.ComputeKind{core.ComputeAverage, core.ComputeLast, core.ComputeStride} {
+	kinds := []core.ComputeKind{core.ComputeAverage, core.ComputeLast, core.ComputeStride}
+	var b batch
+	precise := b.precise()
+	kindRuns := make([][]RunResult, len(kinds))
+	for ki, kind := range kinds {
 		kind := kind
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		kindRuns[ki] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Compute = kind
 			return cfg
 		})
+	}
+	b.run()
+	for ki, kind := range kinds {
 		f.Rows = append(f.Rows,
-			Row{Label: "MPKI " + kind.String(), Values: mpkiValues(runs, precise)},
-			Row{Label: "error " + kind.String(), Values: errorValues(runs, precise)})
+			Row{Label: "MPKI " + kind.String(), Values: mpkiValues(kindRuns[ki], precise)},
+			Row{Label: "error " + kind.String(), Values: errorValues(kindRuns[ki], precise)})
 	}
 	f.Notes = append(f.Notes, "paper §VI: average was found the most accurate computation function")
 	return f
@@ -91,17 +106,23 @@ func AblationLHB() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, depth := range []int{1, 2, 4, 8} {
+	depths := []int{1, 2, 4, 8}
+	var b batch
+	precise := b.precise()
+	depthRuns := make([][]RunResult, len(depths))
+	for di, depth := range depths {
 		depth := depth
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		depthRuns[di] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.LHBSize = depth
 			return cfg
 		})
+	}
+	b.run()
+	for di, depth := range depths {
 		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI lhb-%d", depth), Values: mpkiValues(runs, precise)},
-			Row{Label: fmt.Sprintf("error lhb-%d", depth), Values: errorValues(runs, precise)})
+			Row{Label: fmt.Sprintf("MPKI lhb-%d", depth), Values: mpkiValues(depthRuns[di], precise)},
+			Row{Label: fmt.Sprintf("error lhb-%d", depth), Values: errorValues(depthRuns[di], precise)})
 	}
 	f.Notes = append(f.Notes, "paper Table II: 4 LHB entries; average over a short window balances accuracy and reactivity")
 	return f
@@ -118,25 +139,31 @@ func AblationConfidence() *Figure {
 		ValueUnit:  "coverage fraction / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, prop := range []bool{false, true} {
+	props := []bool{false, true}
+	var b batch
+	precise := b.precise()
+	propRuns := make([][]RunResult, len(props))
+	for pi, prop := range props {
 		prop := prop
-		label := "step-1"
-		if prop {
-			label = "proportional"
-		}
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		propRuns[pi] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.IntConfidence = true // give the counter authority everywhere
 			cfg.ProportionalConfidence = prop
 			return cfg
 		})
+	}
+	b.run()
+	for pi, prop := range props {
+		label := "step-1"
+		if prop {
+			label = "proportional"
+		}
 		covRow := Row{Label: "coverage " + label}
-		for _, r := range runs {
+		for _, r := range propRuns[pi] {
 			covRow.Values = append(covRow.Values, r.Sim.Coverage())
 		}
 		f.Rows = append(f.Rows, covRow,
-			Row{Label: "error " + label, Values: errorValues(runs, precise)})
+			Row{Label: "error " + label, Values: errorValues(propRuns[pi], precise)})
 	}
 	return f
 }

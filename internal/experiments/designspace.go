@@ -57,24 +57,29 @@ func Fig4() *Figure {
 		ValueUnit:  "normalized MPKI (lower is better)",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, g := range ghbSizes {
+	var b batch
+	precise := b.precise()
+	lvpRuns := make([][]RunResult, len(ghbSizes))
+	lvaRuns := make([][]RunResult, len(ghbSizes))
+	for gi, g := range ghbSizes {
 		g := g
-		runs := lvpRow(func(w workloads.Workload) core.Config {
+		lvpRuns[gi] = b.lvp(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
 		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVP-GHB-%d", g), Values: mpkiValues(runs, precise)})
+		lvaRuns[gi] = b.lva(func(w workloads.Workload) core.Config {
+			cfg := BaselineFor(w)
+			cfg.GHBSize = g
+			return cfg
+		})
 	}
-	for _, g := range ghbSizes {
-		g := g
-		runs := lvaRow(func(w workloads.Workload) core.Config {
-			cfg := BaselineFor(w)
-			cfg.GHBSize = g
-			return cfg
-		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVA-GHB-%d", g), Values: mpkiValues(runs, precise)})
+	b.run()
+	for gi, g := range ghbSizes {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVP-GHB-%d", g), Values: mpkiValues(lvpRuns[gi], precise)})
+	}
+	for gi, g := range ghbSizes {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVA-GHB-%d", g), Values: mpkiValues(lvaRuns[gi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: LVA achieves lower normalized MPKI than idealized LVP on average; MPKI tends to increase with GHB size")
 	return f
@@ -90,15 +95,20 @@ func Fig5() *Figure {
 		ValueUnit:  "output error (fraction)",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, g := range ghbSizes {
+	var b batch
+	precise := b.precise()
+	ghbRuns := make([][]RunResult, len(ghbSizes))
+	for gi, g := range ghbSizes {
 		g := g
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		ghbRuns[gi] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
 		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("GHB-%d", g), Values: errorValues(runs, precise)})
+	}
+	b.run()
+	for gi, g := range ghbSizes {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("GHB-%d", g), Values: errorValues(ghbRuns[gi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: error ~<=10% everywhere but ferret; near-zero for swaptions and x264")
 	return f
@@ -130,25 +140,29 @@ func Fig6() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, win := range confidenceWindows {
+	var b batch
+	precise := b.precise()
+	winRuns := make([][]RunResult, len(confidenceWindows))
+	for wi, win := range confidenceWindows {
 		win := win
-		var runs []RunResult
 		if win == 0 {
-			runs = lvpRow(func(workloads.Workload) core.Config {
+			winRuns[wi] = b.lvp(func(workloads.Workload) core.Config {
 				return core.DefaultConfig()
 			})
 		} else {
-			runs = lvaRow(func(workloads.Workload) core.Config {
+			winRuns[wi] = b.lva(func(workloads.Workload) core.Config {
 				cfg := core.DefaultConfig()
 				cfg.Window = win
 				cfg.IntConfidence = true // both data kinds use confidence here
 				return cfg
 			})
 		}
+	}
+	b.run()
+	for wi, win := range confidenceWindows {
 		f.Rows = append(f.Rows,
-			Row{Label: "MPKI " + windowLabel(win), Values: mpkiValues(runs, precise)},
-			Row{Label: "error " + windowLabel(win), Values: errorValues(runs, precise)})
+			Row{Label: "MPKI " + windowLabel(win), Values: mpkiValues(winRuns[wi], precise)},
+			Row{Label: "error " + windowLabel(win), Values: errorValues(winRuns[wi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: relaxing the window lowers MPKI and raises error; x264 sees big MPKI cuts at near-zero error; ferret error grows with relaxation")
 	return f
@@ -168,17 +182,22 @@ func Fig7() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, d := range valueDelays {
+	var b batch
+	precise := b.precise()
+	delayRuns := make([][]RunResult, len(valueDelays))
+	for di, d := range valueDelays {
 		d := d
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		delayRuns[di] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.ValueDelay = d
 			return cfg
 		})
+	}
+	b.run()
+	for di, d := range valueDelays {
 		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI delay-%d", d), Values: mpkiValues(runs, precise)},
-			Row{Label: fmt.Sprintf("error delay-%d", d), Values: errorValues(runs, precise)})
+			Row{Label: fmt.Sprintf("MPKI delay-%d", d), Values: mpkiValues(delayRuns[di], precise)},
+			Row{Label: fmt.Sprintf("error delay-%d", d), Values: errorValues(delayRuns[di], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: value delay has little impact on MPKI or error for all benchmarks except canneal's error")
 	return f
@@ -199,23 +218,29 @@ func Fig8() *Figure {
 		ValueUnit:  "normalized MPKI / normalized fetches",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, d := range degrees {
-		runs := prefetchRow(d)
-		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI prefetch-%d", d), Values: mpkiValues(runs, precise)},
-			Row{Label: fmt.Sprintf("fetches prefetch-%d", d), Values: fetchValues(runs, precise)})
-	}
-	for _, d := range degrees {
+	var b batch
+	precise := b.precise()
+	prefRuns := make([][]RunResult, len(degrees))
+	apxRuns := make([][]RunResult, len(degrees))
+	for di, d := range degrees {
 		d := d
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		prefRuns[di] = b.prefetch(d)
+		apxRuns[di] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Degree = d
 			return cfg
 		})
+	}
+	b.run()
+	for di, d := range degrees {
 		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI approx-%d", d), Values: mpkiValues(runs, precise)},
-			Row{Label: fmt.Sprintf("fetches approx-%d", d), Values: fetchValues(runs, precise)})
+			Row{Label: fmt.Sprintf("MPKI prefetch-%d", d), Values: mpkiValues(prefRuns[di], precise)},
+			Row{Label: fmt.Sprintf("fetches prefetch-%d", d), Values: fetchValues(prefRuns[di], precise)})
+	}
+	for di, d := range degrees {
+		f.Rows = append(f.Rows,
+			Row{Label: fmt.Sprintf("MPKI approx-%d", d), Values: mpkiValues(apxRuns[di], precise)},
+			Row{Label: fmt.Sprintf("fetches approx-%d", d), Values: fetchValues(apxRuns[di], precise)})
 	}
 	f.Notes = append(f.Notes,
 		"paper: prefetch-16 increases fetched blocks by ~73% on average while LVA-16 reduces them by ~39%",
@@ -232,15 +257,21 @@ func Fig9() *Figure {
 		ValueUnit:  "output error (fraction)",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	for _, d := range append([]int{0}, degrees...) {
+	allDegrees := append([]int{0}, degrees...)
+	var b batch
+	precise := b.precise()
+	degRuns := make([][]RunResult, len(allDegrees))
+	for di, d := range allDegrees {
 		d := d
-		runs := lvaRow(func(w workloads.Workload) core.Config {
+		degRuns[di] = b.lva(func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Degree = d
 			return cfg
 		})
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("approx-%d", d), Values: errorValues(runs, precise)})
+	}
+	b.run()
+	for di, d := range allDegrees {
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("approx-%d", d), Values: errorValues(degRuns[di], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: higher approximation degree trains less often and increases output error")
 	return f
@@ -257,7 +288,9 @@ func Fig12() *Figure {
 		ValueUnit:  "count",
 		Benchmarks: workloads.Names(),
 	}
-	runs := lvaRow(BaselineFor)
+	var b batch
+	runs := b.lva(BaselineFor)
+	b.run()
 	row := Row{Label: "static approx load PCs"}
 	for _, r := range runs {
 		row.Values = append(row.Values, float64(r.Sim.StaticPCs))
@@ -282,16 +315,21 @@ func Fig13() *Figure {
 		ValueUnit:  "normalized MPKI",
 		Benchmarks: []string{fl.Name()},
 	}
-	precise := Precise(fl)
-	for _, bits := range mantissaLosses {
+	var b batch
+	precise := b.one(func() RunResult { return RunPrecise(fl, DefaultSeed) })
+	lossRuns := make([]*RunResult, len(mantissaLosses))
+	for bi, bits := range mantissaLosses {
 		cfg := core.DefaultConfig()
 		cfg.GHBSize = 2
 		cfg.Window = -1 // confidence disabled (never rejects)
 		cfg.MantissaLoss = bits
-		run := RunLVA(fl, cfg, DefaultSeed)
+		lossRuns[bi] = b.one(func() RunResult { return RunLVA(fl, cfg, DefaultSeed) })
+	}
+	b.run()
+	for bi, bits := range mantissaLosses {
 		f.Rows = append(f.Rows, Row{
 			Label:  fmt.Sprintf("loss-%d bits", bits),
-			Values: []float64{normalizedMPKI(run, precise)},
+			Values: []float64{normalizedMPKI(*lossRuns[bi], *precise)},
 		})
 	}
 	f.Notes = append(f.Notes, "paper: removing mantissa bits improves hash value locality, so MPKI goes down; error stays ~10%")
@@ -310,9 +348,11 @@ func Fig1() *Figure {
 		ValueUnit:  "fraction of image diagonal",
 		Benchmarks: []string{bt.Name()},
 	}
-	precise := Precise(bt)
-	run := RunLVA(bt, BaselineFor(bt), DefaultSeed)
-	f.Rows = append(f.Rows, Row{Label: "output error", Values: []float64{ErrorVs(run, precise)}})
+	var b batch
+	precise := b.one(func() RunResult { return RunPrecise(bt, DefaultSeed) })
+	run := b.one(func() RunResult { return RunLVA(bt, BaselineFor(bt), DefaultSeed) })
+	b.run()
+	f.Rows = append(f.Rows, Row{Label: "output error", Values: []float64{ErrorVs(*run, *precise)}})
 	f.Rows = append(f.Rows, Row{Label: "coverage", Values: []float64{run.Sim.Coverage()}})
 	f.Notes = append(f.Notes, "run examples/vision to render the precise and approximate tracking overlays as PGM images")
 	return f

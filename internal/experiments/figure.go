@@ -88,24 +88,11 @@ func (f *Figure) String() string {
 	return b.String()
 }
 
-// ---------------------------------------------------------------------------
-// Precise-run memoization: every figure normalizes against the same precise
-// executions, so share them across drivers within a process. Each workload
-// has its own once-cell so distinct workloads warm concurrently.
-
-type preciseCell struct {
-	once sync.Once
-	r    RunResult
-}
-
-var preciseCells sync.Map // workload name -> *preciseCell
-
 // Precise returns the (memoized) precise run for a workload at DefaultSeed.
+// Memoization lives in the process-wide run cache shared by all Run* entry
+// points.
 func Precise(w workloads.Workload) RunResult {
-	c, _ := preciseCells.LoadOrStore(w.Name(), &preciseCell{})
-	cell := c.(*preciseCell)
-	cell.once.Do(func() { cell.r = RunPrecise(w, DefaultSeed) })
-	return cell.r
+	return RunPrecise(w, DefaultSeed)
 }
 
 // Registry maps experiment ids to their drivers: the paper's tables and
@@ -158,4 +145,32 @@ func idKey(id string) int {
 		return n
 	}
 	return 1000 // ablations/extensions after the paper's artifacts
+}
+
+// RunAll regenerates the named experiments (every registry experiment when
+// ids is empty) with cross-figure scheduling: each driver runs in its own
+// goroutine and admits its simulation points through the shared
+// Parallelism-bounded gate, so points from different figures interleave
+// while the run cache simulates every shared design point exactly once.
+// Figures are returned in ids order (registry order when ids is empty).
+func RunAll(ids ...string) ([]*Figure, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
+		}
+	}
+	figs := make([]*Figure, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			figs[i] = Registry[id]()
+		}(i, id)
+	}
+	wg.Wait()
+	return figs, nil
 }

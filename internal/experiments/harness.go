@@ -5,6 +5,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"lva/internal/core"
 	"lva/internal/memsim"
 	"lva/internal/prefetch"
@@ -22,39 +24,48 @@ type RunResult struct {
 
 // RunPrecise executes the kernel with no approximation attached: the
 // baseline against which MPKI is normalized and output error measured.
+// Like all Run* entry points it is memoized in the process-wide run cache.
 func RunPrecise(w workloads.Workload, seed uint64) RunResult {
-	cfg := memsim.DefaultConfig()
-	cfg.Attach = memsim.AttachNone
-	return runWith(w, cfg, seed)
+	return cachedRun(runKey("precise", w, "", seed), true, func() RunResult {
+		cfg := memsim.DefaultConfig()
+		cfg.Attach = memsim.AttachNone
+		return runWith(w, cfg, seed)
+	})
 }
 
 // RunLVA executes the kernel with a load value approximator built from
 // coreCfg attached to the L1.
 func RunLVA(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
-	cfg := memsim.DefaultConfig()
-	cfg.Attach = memsim.AttachLVA
-	cfg.Approx = coreCfg
-	return runWith(w, cfg, seed)
+	return cachedRun(runKey("lva", w, fmt.Sprintf("%#v", coreCfg), seed), false, func() RunResult {
+		cfg := memsim.DefaultConfig()
+		cfg.Attach = memsim.AttachLVA
+		cfg.Approx = coreCfg
+		return runWith(w, cfg, seed)
+	})
 }
 
 // RunLVP executes the kernel with the idealized load value predictor
 // baseline (exact-match coverage, always fetch).
 func RunLVP(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
-	cfg := memsim.DefaultConfig()
-	cfg.Attach = memsim.AttachLVP
-	cfg.Approx = coreCfg
-	return runWith(w, cfg, seed)
+	return cachedRun(runKey("lvp", w, fmt.Sprintf("%#v", coreCfg), seed), false, func() RunResult {
+		cfg := memsim.DefaultConfig()
+		cfg.Attach = memsim.AttachLVP
+		cfg.Approx = coreCfg
+		return runWith(w, cfg, seed)
+	})
 }
 
 // RunPrefetch executes the kernel with the GHB prefetcher at the given
 // degree (applied to all data, as in the paper).
 func RunPrefetch(w workloads.Workload, degree int, seed uint64) RunResult {
-	cfg := memsim.DefaultConfig()
-	cfg.Attach = memsim.AttachPrefetch
-	p := prefetch.DefaultConfig()
-	p.Degree = degree
-	cfg.Prefetch = p
-	return runWith(w, cfg, seed)
+	return cachedRun(runKey("prefetch", w, fmt.Sprintf("%#v|degree=%d", prefetch.DefaultConfig(), degree), seed), false, func() RunResult {
+		cfg := memsim.DefaultConfig()
+		cfg.Attach = memsim.AttachPrefetch
+		p := prefetch.DefaultConfig()
+		p.Degree = degree
+		cfg.Prefetch = p
+		return runWith(w, cfg, seed)
+	})
 }
 
 func runWith(w workloads.Workload, cfg memsim.Config, seed uint64) RunResult {

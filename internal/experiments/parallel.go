@@ -8,65 +8,137 @@ import (
 	"lva/internal/workloads"
 )
 
-// Parallelism bounds how many workload simulations run concurrently in the
-// experiment drivers and RunSweep. Each simulation is independent (its own
-// simulator and approximator state), so results are deterministic
-// regardless of this setting. Defaults to the machine's parallelism.
+// Parallelism bounds how many kernel simulations execute concurrently in
+// the whole process: every figure row, every RunAll driver and every
+// RunSweep job admits its points through one shared gate. Each simulation
+// is independent (its own simulator and approximator state) and every
+// design point is a deterministic function of (workload, config, seed), so
+// results are identical regardless of this setting. Defaults to the
+// machine's parallelism.
 var Parallelism = runtime.GOMAXPROCS(0)
 
-// forEachWorkload runs fn once per benchmark, concurrently (bounded by
-// Parallelism), passing the benchmark's index in workloads.All() order.
-// It returns when all have finished.
-func forEachWorkload(fn func(i int, w workloads.Workload)) {
-	ws := workloads.All()
-	sem := make(chan struct{}, max(1, Parallelism))
+// simGate is the process-wide admission gate. It re-reads Parallelism on
+// every admit, so tests may change the bound between experiments; a lower
+// bound takes effect as in-flight simulations drain.
+var simGate = struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+}{}
+
+func init() { simGate.cond = sync.NewCond(&simGate.mu) }
+
+// admit blocks until a simulation slot is free and claims it.
+func admit() {
+	simGate.mu.Lock()
+	for simGate.active >= max(1, Parallelism) {
+		simGate.cond.Wait()
+	}
+	simGate.active++
+	simGate.mu.Unlock()
+}
+
+// release returns a slot claimed by admit.
+func release() {
+	simGate.mu.Lock()
+	simGate.active--
+	simGate.cond.Signal()
+	simGate.mu.Unlock()
+}
+
+// batch collects the simulation points of one experiment — any number of
+// rows — and runs them all concurrently through the shared gate, so points
+// from different rows (and, under RunAll, different figures) are in flight
+// at once. Tasks execute while holding a gate slot and must not run nested
+// batches or forEachWorkload calls, which would wait for slots they
+// themselves occupy.
+type batch struct{ tasks []func() }
+
+// add schedules one task for the next run call.
+func (b *batch) add(fn func()) { b.tasks = append(b.tasks, fn) }
+
+// run executes every collected task gate-bounded and returns when all have
+// finished, leaving the batch empty for reuse.
+func (b *batch) run() {
 	var wg sync.WaitGroup
-	for i, w := range ws {
+	for _, t := range b.tasks {
 		wg.Add(1)
-		sem <- struct{}{}
+		go func(task func()) {
+			defer wg.Done()
+			admit()
+			defer release()
+			task()
+		}(t)
+	}
+	wg.Wait()
+	b.tasks = nil
+}
+
+// one schedules a single simulation point; the returned pointer is filled
+// when run returns.
+func (b *batch) one(sim func() RunResult) *RunResult {
+	out := new(RunResult)
+	b.add(func() { *out = sim() })
+	return out
+}
+
+// lva schedules one LVA point per benchmark under cfgFor(w); the returned
+// slice (registry order) is filled when run returns.
+func (b *batch) lva(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		i, w := i, w
+		cfg := cfgFor(w)
+		b.add(func() { out[i] = RunLVA(w, cfg, DefaultSeed) })
+	}
+	return out
+}
+
+// lvp is lva for the idealized LVP baseline.
+func (b *batch) lvp(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		i, w := i, w
+		cfg := cfgFor(w)
+		b.add(func() { out[i] = RunLVP(w, cfg, DefaultSeed) })
+	}
+	return out
+}
+
+// prefetch schedules one GHB-prefetcher point per benchmark at a degree.
+func (b *batch) prefetch(degree int) []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		i, w := i, w
+		b.add(func() { out[i] = RunPrefetch(w, degree, DefaultSeed) })
+	}
+	return out
+}
+
+// precise schedules the precise baseline of every benchmark.
+func (b *batch) precise() []RunResult {
+	out := make([]RunResult, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		i, w := i, w
+		b.add(func() { out[i] = RunPrecise(w, DefaultSeed) })
+	}
+	return out
+}
+
+// forEachWorkload runs fn once per benchmark through the shared gate,
+// passing the benchmark's index in workloads.All() order. It returns when
+// all have finished. The full-system drivers use it directly; phase-1
+// drivers batch their rows instead so whole figures fan out at once.
+func forEachWorkload(fn func(i int, w workloads.Workload)) {
+	var wg sync.WaitGroup
+	for i, w := range workloads.All() {
+		wg.Add(1)
 		go func(i int, w workloads.Workload) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			admit()
+			defer release()
 			fn(i, w)
 		}(i, w)
 	}
 	wg.Wait()
-}
-
-// lvaRow runs cfgFor(w) under LVA for every benchmark concurrently and
-// returns the per-benchmark results in registry order.
-func lvaRow(cfgFor func(w workloads.Workload) core.Config) []RunResult {
-	out := make([]RunResult, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
-		out[i] = RunLVA(w, cfgFor(w), DefaultSeed)
-	})
-	return out
-}
-
-// lvpRow is lvaRow for the idealized LVP baseline.
-func lvpRow(cfgFor func(w workloads.Workload) core.Config) []RunResult {
-	out := make([]RunResult, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
-		out[i] = RunLVP(w, cfgFor(w), DefaultSeed)
-	})
-	return out
-}
-
-// prefetchRow runs the GHB prefetcher at one degree for every benchmark.
-func prefetchRow(degree int) []RunResult {
-	out := make([]RunResult, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
-		out[i] = RunPrefetch(w, degree, DefaultSeed)
-	})
-	return out
-}
-
-// preciseAll warms the precise-run cache for every benchmark concurrently
-// and returns the results in registry order.
-func preciseAll() []RunResult {
-	out := make([]RunResult, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
-		out[i] = Precise(w)
-	})
-	return out
 }

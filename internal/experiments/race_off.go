@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race detector
+// (see race_on.go). The full-registry determinism test consults it: three
+// registry regenerations exceed the race-instrumented time budget, and the
+// scheduler/cache interleavings it would exercise are already covered by
+// the lighter concurrent tests.
+const raceEnabled = false

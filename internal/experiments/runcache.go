@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lva/internal/workloads"
+)
+
+// The run cache is the deduplicating layer every phase-1 simulation flows
+// through: RunPrecise, RunLVA, RunLVP and RunPrefetch all memoize on a
+// canonical fingerprint of (attach mode, workload and its parameters,
+// approximator/prefetcher configuration, seed). The paper's evaluation grid
+// shares many design points — the Table II baseline run of each benchmark
+// is needed by Table I, Figures 1, 4, 5, 7, 9, 12 and three ablations — so
+// regenerating everything in one process simulates each point exactly once.
+//
+// Semantics are singleflight: the first caller of a fingerprint simulates
+// while concurrent callers of the same fingerprint block on its once-cell
+// and then share the result. Because every kernel is a deterministic
+// function of (workload, config, seed), a memoized result is byte-identical
+// to a recomputation, and figures are unchanged by caching or concurrency.
+
+// RunCacheStats is a snapshot of the process-wide run-cache counters.
+type RunCacheStats struct {
+	// Hits counts Run* calls satisfied from the memo store (simulations
+	// avoided).
+	Hits uint64
+	// Simulated counts kernel simulations actually executed.
+	Simulated uint64
+	// PreciseHits is the subset of Hits on precise baseline runs. Precise
+	// runs were memoized before the run cache existed, so dedup accounting
+	// against the pre-cache code excludes them.
+	PreciseHits uint64
+}
+
+// DedupFraction returns the fraction of end-to-end kernel simulations the
+// run cache avoided relative to code that memoizes only precise baselines:
+// approximate/prefetch hits over what such code would have simulated.
+func (s RunCacheStats) DedupFraction() float64 {
+	newHits := s.Hits - s.PreciseHits
+	total := s.Simulated + newHits
+	if total == 0 {
+		return 0
+	}
+	return float64(newHits) / float64(total)
+}
+
+type runCell struct {
+	once sync.Once
+	r    RunResult
+}
+
+var (
+	runCells    sync.Map // canonical fingerprint -> *runCell
+	runCacheOff atomic.Bool
+
+	runHits        atomic.Uint64
+	runSims        atomic.Uint64
+	runPreciseHits atomic.Uint64
+)
+
+// runKey builds the canonical fingerprint of one simulation point. %#v on
+// the workload spells out its concrete type and every calibration
+// parameter (the structs are flat value types), so two instances describe
+// the same simulation iff their keys are equal; cfg carries the attachment
+// configuration the same way.
+func runKey(attach string, w workloads.Workload, cfg string, seed uint64) string {
+	return fmt.Sprintf("%s|%#v|%s|seed=%d", attach, w, cfg, seed)
+}
+
+// cachedRun returns the memoized result for key, simulating at most once
+// per process. precise marks baseline runs for hit accounting.
+func cachedRun(key string, precise bool, sim func() RunResult) RunResult {
+	if runCacheOff.Load() {
+		runSims.Add(1)
+		return sim()
+	}
+	c, _ := runCells.LoadOrStore(key, &runCell{})
+	cell := c.(*runCell)
+	hit := true
+	cell.once.Do(func() {
+		hit = false
+		runSims.Add(1)
+		cell.r = sim()
+	})
+	if hit {
+		runHits.Add(1)
+		if precise {
+			runPreciseHits.Add(1)
+		}
+	}
+	return cell.r
+}
+
+// RunCacheCounters returns a snapshot of the run-cache counters.
+func RunCacheCounters() RunCacheStats {
+	return RunCacheStats{
+		Hits:        runHits.Load(),
+		Simulated:   runSims.Load(),
+		PreciseHits: runPreciseHits.Load(),
+	}
+}
+
+// SetRunCacheEnabled toggles memoization. Disabling routes every Run* call
+// straight to the simulator (each call counts as Simulated), which lets
+// tests A/B a cached run against a cache-bypassing one. The cache starts
+// enabled.
+func SetRunCacheEnabled(on bool) { runCacheOff.Store(!on) }
+
+// ResetRunCache drops every memoized run — phase-1 results, captured
+// phase-2 traces and full-system replays — and zeroes the counters,
+// restoring process-cold behaviour. It is intended for tests and
+// benchmarks and must not race with running experiments.
+func ResetRunCache() {
+	runCells.Range(func(k, _ any) bool {
+		runCells.Delete(k)
+		return true
+	})
+	traceCells.Range(func(k, _ any) bool {
+		traceCells.Delete(k)
+		return true
+	})
+	fsCells.Range(func(k, _ any) bool {
+		fsCells.Delete(k)
+		return true
+	})
+	runHits.Store(0)
+	runSims.Store(0)
+	runPreciseHits.Store(0)
+}

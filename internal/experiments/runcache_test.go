@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"lva/internal/workloads"
+)
+
+// TestRunCacheSingleflight checks that repeated Run* calls with the same
+// fingerprint simulate once and hit thereafter.
+func TestRunCacheSingleflight(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+
+	w := workloads.NewSwaptions()
+	cfg := BaselineFor(w)
+	first := RunLVA(w, cfg, DefaultSeed)
+	s := RunCacheCounters()
+	if s.Simulated != 1 || s.Hits != 0 {
+		t.Fatalf("after first run: got %+v, want 1 simulated, 0 hits", s)
+	}
+	second := RunLVA(w, cfg, DefaultSeed)
+	s = RunCacheCounters()
+	if s.Simulated != 1 || s.Hits != 1 {
+		t.Fatalf("after second run: got %+v, want 1 simulated, 1 hit", s)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cache hit returned a different result:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+
+	// A different configuration is a different fingerprint.
+	cfg.GHBSize = 2
+	RunLVA(w, cfg, DefaultSeed)
+	if s = RunCacheCounters(); s.Simulated != 2 {
+		t.Fatalf("distinct config should simulate again: %+v", s)
+	}
+}
+
+// TestRunCacheKeysDistinguishAttachModes guards the fingerprint: the same
+// workload/config/seed must not collide across attach modes.
+func TestRunCacheKeysDistinguishAttachModes(t *testing.T) {
+	w := workloads.NewSwaptions()
+	keys := map[string]bool{
+		runKey("precise", w, "", DefaultSeed):     true,
+		runKey("lva", w, "cfg", DefaultSeed):      true,
+		runKey("lvp", w, "cfg", DefaultSeed):      true,
+		runKey("prefetch", w, "cfg", DefaultSeed): true,
+		runKey("lva", w, "cfg", DefaultSeed+1):    true,
+	}
+	if len(keys) != 5 {
+		t.Fatalf("fingerprints collide: %d distinct keys, want 5", len(keys))
+	}
+}
+
+// TestRunCacheBypassIdentical checks that a figure computed through the
+// cache is byte-identical to one computed with the cache disabled.
+func TestRunCacheBypassIdentical(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+
+	cached := Fig13().String()
+
+	SetRunCacheEnabled(false)
+	defer SetRunCacheEnabled(true)
+	bypassed := Fig13().String()
+
+	if cached != bypassed {
+		t.Fatalf("cached and bypassed figures differ:\ncached:\n%s\nbypassed:\n%s", cached, bypassed)
+	}
+}
+
+// TestRegistryDeterministicAcrossParallelismAndCache is the end-to-end
+// guarantee of the run cache + scheduler: every registry figure renders
+// byte-identically whether design points are simulated cold or served from
+// the cache, and whether one or many simulations are in flight.
+func TestRegistryDeterministicAcrossParallelismAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full registry three times")
+	}
+	if raceEnabled {
+		t.Skip("three full-registry regenerations exceed the race detector's time budget; the lighter cache/scheduler tests run race-instrumented")
+	}
+	saved := Parallelism
+	defer func() { Parallelism = saved; ResetRunCache() }()
+
+	render := func(figs []*Figure) map[string]string {
+		out := make(map[string]string, len(figs))
+		for _, f := range figs {
+			out[f.ID] = f.String()
+		}
+		return out
+	}
+
+	Parallelism = 8
+	ResetRunCache()
+	figs, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := render(figs)
+	stats := RunCacheCounters()
+	if got := stats.DedupFraction(); got < 0.30 {
+		t.Errorf("run cache avoided only %.1f%% of kernel simulations, want >= 30%% (%+v)", 100*got, stats)
+	}
+
+	// Warm pass: everything must come from the cache and render identically.
+	figs, err = RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range render(figs) {
+		if s != cold[id] {
+			t.Errorf("%s: warm (cache-hit) rendering differs from cold run:\ncold:\n%s\nwarm:\n%s", id, cold[id], s)
+		}
+	}
+	warmStats := RunCacheCounters()
+	if warmStats.Simulated != stats.Simulated {
+		t.Errorf("warm pass simulated %d new kernels, want 0", warmStats.Simulated-stats.Simulated)
+	}
+
+	// Serial pass: Parallelism=1, cold cache.
+	Parallelism = 1
+	ResetRunCache()
+	figs, err = RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range render(figs) {
+		if s != cold[id] {
+			t.Errorf("%s: Parallelism=1 rendering differs from Parallelism=8:\nP=8:\n%s\nP=1:\n%s", id, cold[id], s)
+		}
+	}
+}
+
+// TestRunAllUnknownID checks RunAll validates ids before running anything.
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := RunAll("fig99"); err == nil {
+		t.Fatal("RunAll(fig99) should fail")
+	}
+}

@@ -118,13 +118,34 @@ func (p SweepPoint) CSVRow() []string {
 }
 
 // RunSweep executes the exploration and returns one point per combination,
-// benchmark-major in the order given. Points run concurrently (bounded by
-// Parallelism); results and the optional progress callback are
-// deterministic in count, and the returned slice order is always the full
-// cartesian order regardless of completion order.
+// benchmark-major in the order given. The precise baselines warm up
+// concurrently through the shared run cache before the cartesian product is
+// expanded, and the points themselves run on a Parallelism-bounded worker
+// pool admitting through the same process-wide gate as the figure drivers;
+// results and the optional progress callback are deterministic in count,
+// and the returned slice order is always the full cartesian order
+// regardless of completion order.
 func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, error) {
 	n := spec.normalize()
 	total := spec.Points()
+
+	// Resolve every benchmark first so bad names fail before any simulation,
+	// then warm their precise baselines concurrently through the run cache.
+	ws := make([]workloads.Workload, len(n.Benchmarks))
+	for i, bench := range n.Benchmarks {
+		w, err := workloads.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	var warm batch
+	preciseRuns := make([]RunResult, len(ws))
+	for i, w := range ws {
+		i, w := i, w
+		warm.add(func() { preciseRuns[i] = RunPrecise(w, n.Seed) })
+	}
+	warm.run()
 
 	// Expand the cartesian product up front so workers fill a fixed slice.
 	type job struct {
@@ -136,12 +157,9 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 		point   SweepPoint
 	}
 	var jobs []job
-	for _, bench := range n.Benchmarks {
-		w, err := workloads.ByName(bench)
-		if err != nil {
-			return nil, err
-		}
-		precise := RunPrecise(w, n.Seed)
+	for bi, bench := range n.Benchmarks {
+		w := ws[bi]
+		precise := preciseRuns[bi]
 		for _, ghb := range n.GHBs {
 			for _, win := range n.Windows {
 				for _, deg := range n.Degrees {
@@ -177,42 +195,54 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 		}
 	}
 
+	// A fixed worker pool (rather than one goroutine per point) keeps huge
+	// sweeps cheap; every point still admits through the shared gate so
+	// sweeps and figure drivers share one process-wide concurrency bound.
 	out := make([]SweepPoint, len(jobs))
+	feed := make(chan job)
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		done int
 	)
-	sem := make(chan struct{}, max(1, Parallelism))
-	for i := range jobs {
-		j := jobs[i]
+	workers := max(1, Parallelism)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for range workers {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			run := RunLVA(j.w, j.cfg, n.Seed)
-			pt := j.point
-			pt.RawMPKI = run.Sim.RawMPKI()
-			pt.EffectiveMPKI = run.Sim.EffectiveMPKI()
-			pt.Coverage = run.Sim.Coverage()
-			pt.Fetches = run.Sim.Fetches
-			pt.OutputError = ErrorVs(run, j.precise)
-			if p := j.precise.Sim.RawMPKI(); p > 0 {
-				pt.NormalizedMPKI = pt.EffectiveMPKI / p
-			}
-			if p := float64(j.precise.Sim.Fetches); p > 0 {
-				pt.NormFetches = float64(pt.Fetches) / p
-			}
-			out[j.idx] = pt
-			if progress != nil {
-				mu.Lock()
-				done++
-				progress(done, total)
-				mu.Unlock()
+			for j := range feed {
+				admit()
+				run := RunLVA(j.w, j.cfg, n.Seed)
+				release()
+				pt := j.point
+				pt.RawMPKI = run.Sim.RawMPKI()
+				pt.EffectiveMPKI = run.Sim.EffectiveMPKI()
+				pt.Coverage = run.Sim.Coverage()
+				pt.Fetches = run.Sim.Fetches
+				pt.OutputError = ErrorVs(run, j.precise)
+				if p := j.precise.Sim.RawMPKI(); p > 0 {
+					pt.NormalizedMPKI = pt.EffectiveMPKI / p
+				}
+				if p := float64(j.precise.Sim.Fetches); p > 0 {
+					pt.NormFetches = float64(pt.Fetches) / p
+				}
+				out[j.idx] = pt
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, total)
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+	for _, j := range jobs {
+		feed <- j
+	}
+	close(feed)
 	wg.Wait()
 	return out, nil
 }

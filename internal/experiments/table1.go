@@ -18,8 +18,10 @@ func Table1() *Figure {
 		ValueUnit:  "MPKI / % variation",
 		Benchmarks: workloads.Names(),
 	}
-	precise := preciseAll()
-	runs := lvaRow(BaselineFor)
+	var b batch
+	precise := b.precise()
+	runs := b.lva(BaselineFor)
+	b.run()
 	mpki := Row{Label: "precise L1 MPKI"}
 	vari := Row{Label: "inst count variation %"}
 	for i := range runs {

@@ -10,6 +10,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -168,6 +169,16 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Honor //go:build constraints (and GOOS/GOARCH filename rules) the
+		// same way the compiler does, so constraint-gated twins (e.g. a
+		// race-detector toggle) don't look like redeclarations.
+		match, err := build.Default.MatchFile(abs, e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("lint: matching %s: %w", e.Name(), err)
+		}
+		if !match {
 			continue
 		}
 		names = append(names, filepath.Join(abs, e.Name()))

@@ -200,6 +200,23 @@ func RunExperiment(id string) (*Figure, bool) {
 	return d(), true
 }
 
+// RunAll regenerates the named experiments ("all" of them when ids is
+// empty) concurrently through the shared run cache: every driver admits
+// its simulation points through one Parallelism-bounded gate and each
+// distinct design point is simulated exactly once per process.
+func RunAll(ids ...string) ([]*Figure, error) { return experiments.RunAll(ids...) }
+
+// RunCacheStats is a snapshot of the process-wide run-cache counters.
+type RunCacheStats = experiments.RunCacheStats
+
+// RunCacheCounters reports how many simulations the run cache executed and
+// how many Run* calls it satisfied from memory.
+func RunCacheCounters() RunCacheStats { return experiments.RunCacheCounters() }
+
+// ResetRunCache drops every memoized simulation result and zeroes the
+// counters, restoring process-cold behaviour (for tests and benchmarks).
+func ResetRunCache() { experiments.ResetRunCache() }
+
 // CaptureTrace records a workload's 4-thread access trace for phase-2 replay.
 func CaptureTrace(w Workload, seed uint64) *Trace {
 	return experiments.CaptureTrace(w, seed)
