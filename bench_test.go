@@ -212,6 +212,38 @@ func BenchmarkSimulatorLoadMissCovered(b *testing.B) {
 	}
 }
 
+// Obs twins of the hot-path micro-benchmarks: same loop bodies with the
+// metrics registry enabled at construction. ci.sh's overhead check
+// compares each pair's disabled run against the seed and bounds the
+// enabled-path cost; the disabled originals above must stay within noise
+// of their pre-obs numbers because their fast paths carry no
+// instrumentation at all (nil seam pointer).
+
+func BenchmarkApproximatorOnMissObs(b *testing.B) {
+	lva.SetMetricsEnabled(true)
+	defer lva.SetMetricsEnabled(false)
+	cfg := lva.DefaultApproximatorConfig()
+	cfg.ValueDelay = 0
+	a := lva.NewApproximator(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OnMiss(uint64(0x400+i%32*4), lva.FloatValue(float64(i%100)))
+	}
+}
+
+func BenchmarkSimulatorLoadHitObs(b *testing.B) {
+	lva.SetMetricsEnabled(true)
+	defer lva.SetMetricsEnabled(false)
+	sim := lva.NewSimulator(lva.DefaultSimConfig())
+	sim.LoadFloat(0x400, 0x1000, 1, false) // warm the block
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.LoadFloat(0x400, 0x1000, 1, false)
+	}
+}
+
 func BenchmarkFullSystemReplay(b *testing.B) {
 	sw := lva.NewSwaptions()
 	sw.NSwaptions, sw.Paths = 4, 50

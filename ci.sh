@@ -8,9 +8,17 @@
 #   test   — go test ./...
 #   race   — go test -race ./...
 #
-# `./ci.sh bench` instead runs the benchmark suite once (-benchtime=1x) and
-# writes the machine-readable go-test event stream to BENCH_<stamp>.json so
-# CI can archive performance snapshots; it is advisory, not a gate.
+# `./ci.sh bench` instead runs the benchmark suite once (-benchtime=1x),
+# writes the machine-readable go-test event stream to BENCH_<stamp>.json,
+# and regenerates every figure with `lvaexp -metrics` so the deterministic
+# metrics snapshot (METRICS_<stamp>.json) is archived next to it; both are
+# advisory, not a gate.
+#
+# `./ci.sh overhead` checks the observability layer's cost: it runs the
+# hot-path micro-benchmarks with the obs registry disabled and enabled and
+# bounds the on/off ratio. The disabled path carries no instrumentation at
+# all (nil seam pointer), so a blown bound means someone put work on the
+# wrong side of the seam.
 #
 # Tier-1 (the minimum every PR must keep green) is build + test; the other
 # steps are the determinism/validation gate this repo's results depend on.
@@ -28,6 +36,45 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> go test -bench (single iteration) -> ${out}"
     go test -json -run '^$' -bench . -benchtime=1x -benchmem ./... > "${out}"
     echo "ci.sh: benchmark snapshot written to ${out}"
+    metrics="METRICS_${stamp}.json"
+    echo "==> lvaexp -metrics (full registry) -> ${metrics}"
+    go run ./cmd/lvaexp -metrics "${metrics}" all > /dev/null
+    echo "ci.sh: metrics snapshot written to ${metrics}"
+    exit 0
+fi
+
+if [[ "${1:-}" == "overhead" ]]; then
+    echo "==> metrics overhead check (hot-path benchmarks, obs registry off vs on)"
+    out="$(go test -run '^$' -bench '^Benchmark(SimulatorLoadHit|ApproximatorOnMiss)(Obs)?$' -benchtime=2000000x -count=3 .)"
+    echo "${out}"
+    awk '
+        function check(base, bound,    on, off, ratio) {
+            off = best[base]; on = best[base "Obs"]
+            if (off == "" || on == "") {
+                printf "overhead: missing benchmark %s\n", base
+                return 1
+            }
+            ratio = on / off
+            printf "overhead: %s enabled/disabled = %.3f (bound %.2f)\n", base, ratio, bound
+            return ratio > bound ? 1 : 0
+        }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = $3 + 0
+            if (!(name in best) || ns < best[name]) best[name] = ns
+        }
+        END {
+            status = 0
+            # The hit path never touches the seam, so on/off should be ~1;
+            # the bound only absorbs scheduler noise at ns scale.
+            if (check("BenchmarkSimulatorLoadHit", 1.30)) status = 1
+            # The miss path pays a few atomics and a bucket search per
+            # training when enabled.
+            if (check("BenchmarkApproximatorOnMiss", 2.50)) status = 1
+            exit status
+        }
+    ' <<<"${out}"
+    echo "ci.sh: metrics overhead within bounds"
     exit 0
 fi
 

@@ -148,6 +148,70 @@ func TestLvadesignCSV(t *testing.T) {
 	}
 }
 
+// TestLvaexpMetricsSnapshotStable runs the same experiment twice in fresh
+// processes and requires byte-identical -metrics output: the deterministic
+// snapshot is part of the repo's reproducibility surface.
+func TestLvaexpMetricsSnapshotStable(t *testing.T) {
+	bin := buildCLI(t, "lvaexp")
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	var snaps [2][]byte
+	for i, p := range paths {
+		if out, stderr, err := runCLI(t, bin, "-metrics", p, "fig12"); err != nil {
+			t.Fatalf("lvaexp -metrics: %v\n%s%s", err, out, stderr)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = b
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatalf("-metrics output not byte-stable across runs:\n%s\n---\n%s", snaps[0], snaps[1])
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(snaps[0], &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, snaps[0])
+	}
+	counts := map[string]uint64{}
+	for _, m := range snap.Metrics {
+		counts[m.Name] = m.Count
+	}
+	for _, name := range []string{"memsim_load_misses", "core_trainings", "runcache_simulated"} {
+		if counts[name] == 0 {
+			t.Errorf("snapshot metric %s is zero:\n%s", name, snaps[0])
+		}
+	}
+	if _, volatile := counts["run_wall_seconds"]; volatile {
+		t.Error("deterministic snapshot leaked a volatile timing histogram")
+	}
+}
+
+// TestLvareportMetricsSection feeds an lvaexp snapshot to lvareport and
+// checks the rendered Metrics table.
+func TestLvareportMetricsSection(t *testing.T) {
+	lvaexp := buildCLI(t, "lvaexp")
+	lvareport := buildCLI(t, "lvareport")
+	p := filepath.Join(t.TempDir(), "metrics.json")
+	if out, stderr, err := runCLI(t, lvaexp, "-metrics", p, "fig12"); err != nil {
+		t.Fatalf("lvaexp -metrics: %v\n%s%s", err, out, stderr)
+	}
+	out, _, err := runCLI(t, lvareport, "-only", "fig12", "-metrics", p)
+	if err != nil {
+		t.Fatalf("lvareport -metrics: %v", err)
+	}
+	for _, want := range []string{"## Metrics", "| metric | kind | value |", "memsim_load_misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestLvareportSubset(t *testing.T) {
 	bin := buildCLI(t, "lvareport")
 	out, _, err := runCLI(t, bin, "-only", "fig12")

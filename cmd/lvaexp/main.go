@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lva/internal/experiments"
+	"lva/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,28 @@ func main() {
 	}
 	verbose := flag.Bool("v", false, "print total timing and run-cache statistics")
 	format := flag.String("format", "table", "output format: table|csv|json|chart")
+	metricsOut := flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	progress := flag.Bool("progress", false, "print live per-figure progress to stderr")
 	flag.Parse()
+
+	// -metrics implies full instrumentation: enable before any simulator is
+	// constructed so the hot-path seams wire up.
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.SetEnabled(true)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "lvaexp: debug server on http://%s/debug/pprof/\n", addr)
+	}
+	if *progress {
+		cancel := obs.OnEvent(obs.NewProgressPrinter(os.Stderr))
+		defer cancel()
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -82,5 +104,15 @@ func main() {
 		s := experiments.RunCacheCounters()
 		fmt.Fprintf(os.Stderr, "lvaexp: %d experiment(s) in %v; %d kernel simulation(s), %d run-cache hit(s) (%.1f%% dedup)\n",
 			len(figs), time.Since(start).Round(time.Millisecond), s.Simulated, s.Hits, 100*s.DedupFraction())
+	}
+	if *metricsOut != "" {
+		b, err := obs.Default().Snapshot(false).JSON()
+		if err == nil {
+			err = os.WriteFile(*metricsOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp: write metrics:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"lva/internal/core"
 	"lva/internal/experiments"
+	"lva/internal/obs"
 	"lva/internal/stats"
 	"lva/internal/workloads"
 )
@@ -30,8 +31,19 @@ func main() {
 		delay    = flag.Int("delay", 4, "value delay in load instructions")
 		mantissa = flag.Int("mantissa", 0, "floating-point mantissa bits dropped")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "workload input seed")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		obs.SetEnabled(true)
+		addr, err := obs.ServeDebug(*pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvasim:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "lvasim: debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	var ws []workloads.Workload
 	if *bench == "all" {

@@ -7,6 +7,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"lva/internal/obs"
 )
 
 // Config describes a cache geometry.
@@ -81,6 +83,8 @@ type Cache struct {
 	// PrefetchHits counts demand accesses whose block was brought in by a
 	// prefetch (useful-prefetch accounting for Figure 8).
 	PrefetchHits uint64
+	// om is non-nil only when obs metrics were enabled at construction.
+	om *cacheMetrics
 }
 
 // New builds a cache for the given geometry; it panics on an invalid
@@ -94,13 +98,17 @@ func New(cfg Config) *Cache {
 		sets[i] = make([]line, cfg.Ways)
 	}
 	mask := uint64(cfg.Sets() - 1)
-	return &Cache{
+	c := &Cache{
 		cfg:        cfg,
 		sets:       sets,
 		setMask:    mask,
 		setBits:    uint(bits.OnesCount64(mask)),
 		blockShift: uint(bits.TrailingZeros64(uint64(cfg.BlockBytes))),
 	}
+	if obs.Enabled() {
+		c.om = sharedCacheMetrics()
+	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -205,6 +213,12 @@ func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, wasValid, wa
 		if v.dirty {
 			c.stats.Writebacks++
 			wasDirty = true
+		}
+		if m := c.om; m != nil {
+			m.evictions.Inc()
+			if wasDirty {
+				m.writebacks.Inc()
+			}
 		}
 		evicted = c.rebuild(set, v.tag)
 		wasValid = true

@@ -1,0 +1,24 @@
+package cache
+
+import (
+	"sync"
+
+	"lva/internal/obs"
+)
+
+// cacheMetrics is the package's obs seam; see the matching struct in
+// memsim for the wiring convention. Shared across every cache in the
+// process (L1s and L2 banks alike).
+type cacheMetrics struct {
+	evictions  *obs.Counter
+	writebacks *obs.Counter
+}
+
+// sharedCacheMetrics lazily registers the package's metrics exactly once.
+var sharedCacheMetrics = sync.OnceValue(func() *cacheMetrics {
+	r := obs.Default()
+	return &cacheMetrics{
+		evictions:  r.Counter("cache_evictions", "valid blocks evicted across all modeled caches"),
+		writebacks: r.Counter("cache_writebacks", "dirty evictions across all modeled caches"),
+	}
+})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"lva/internal/obs"
 	"lva/internal/value"
 )
 
@@ -77,6 +78,8 @@ type Approximator struct {
 	ghbCount int
 	pending  []pendingTrain
 	stats    Stats
+	// om is non-nil only when obs metrics were enabled at construction.
+	om *coreMetrics
 }
 
 // New builds an approximator; it panics on an invalid Config since
@@ -102,6 +105,9 @@ func New(cfg Config) *Approximator {
 	}
 	if cfg.GHBSize > 0 {
 		a.ghb = make([]value.Value, cfg.GHBSize)
+	}
+	if obs.Enabled() {
+		a.om = sharedCoreMetrics()
 	}
 	return a
 }
@@ -269,6 +275,9 @@ func (a *Approximator) Drain() {
 // whether X_approx fell within the relaxed confidence window.
 func (a *Approximator) commitTrain(t pendingTrain) {
 	a.stats.Trainings++
+	if m := a.om; m != nil {
+		m.trainings.Inc()
+	}
 	stored := value.Truncate(t.actual, a.cfg.MantissaLoss)
 
 	// GHB push (all trained values, global across entries).
@@ -315,10 +324,18 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 	if !t.hadApprox {
 		return
 	}
+	before := e.conf
 	if value.WithinWindow(t.approx, t.actual, a.cfg.Window) {
 		a.stats.ConfAccepts++
 		if e.conf < a.cfg.ConfMax() {
 			e.conf++
+		}
+		if m := a.om; m != nil {
+			m.confAccepts.Inc()
+			if before < 0 && e.conf >= 0 {
+				m.confGained.Inc()
+			}
+			m.relErr.Observe(value.RelDiff(t.approx.Float(), t.actual.Float()))
 		}
 		return
 	}
@@ -333,6 +350,13 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 	e.conf -= step
 	if e.conf < a.cfg.ConfMin() {
 		e.conf = a.cfg.ConfMin()
+	}
+	if m := a.om; m != nil {
+		m.confRejects.Inc()
+		if before >= 0 && e.conf < 0 {
+			m.confLost.Inc()
+		}
+		m.relErr.Observe(value.RelDiff(t.approx.Float(), t.actual.Float()))
 	}
 }
 

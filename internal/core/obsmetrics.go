@@ -1,0 +1,31 @@
+package core
+
+import (
+	"sync"
+
+	"lva/internal/obs"
+)
+
+// coreMetrics is the package's obs seam; see the matching struct in memsim
+// for the wiring convention. Shared across all approximators.
+type coreMetrics struct {
+	trainings   *obs.Counter
+	confAccepts *obs.Counter
+	confRejects *obs.Counter
+	confGained  *obs.Counter
+	confLost    *obs.Counter
+	relErr      *obs.Histogram
+}
+
+// sharedCoreMetrics lazily registers the package's metrics exactly once.
+var sharedCoreMetrics = sync.OnceValue(func() *coreMetrics {
+	r := obs.Default()
+	return &coreMetrics{
+		trainings:   r.Counter("core_trainings", "training commits after value delay"),
+		confAccepts: r.Counter("core_conf_accepts", "trainings whose approximation fell inside the confidence window"),
+		confRejects: r.Counter("core_conf_rejects", "trainings whose approximation fell outside the confidence window"),
+		confGained:  r.Counter("core_conf_gained", "confidence counters crossing into the confident range (conf >= 0)"),
+		confLost:    r.Counter("core_conf_lost", "confidence counters dropping out of the confident range (conf < 0)"),
+		relErr:      r.Histogram("core_approx_rel_error", "per-training relative error of the approximated value vs the actual (missed zeros land in the overflow bucket)", obs.ErrorBuckets, false),
+	}
+})

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"lva/internal/obs"
 	"lva/internal/stats"
 	"lva/internal/workloads"
 )
@@ -164,11 +166,17 @@ func RunAll(ids ...string) ([]*Figure, error) {
 	}
 	figs := make([]*Figure, len(ids))
 	var wg sync.WaitGroup
+	var done atomic.Int32
 	for i, id := range ids {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
 			figs[i] = Registry[id]()
+			eng().figuresDone.Inc()
+			obs.Emit(obs.Event{
+				Kind: obs.EventFigureDone, Name: id,
+				Done: int(done.Add(1)), Total: len(ids),
+			})
 		}(i, id)
 	}
 	wg.Wait()

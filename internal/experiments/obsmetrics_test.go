@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"lva/internal/obs"
+)
+
+// TestFigureBytesUnchangedByMetrics is the determinism gate on the
+// instrumentation itself: enabling the full hot-path metrics must not
+// change a single figure byte.
+func TestFigureBytesUnchangedByMetrics(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+	off := Fig13().String()
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	ResetRunCache()
+	on := Fig13().String()
+	if on != off {
+		t.Fatalf("figure bytes changed by enabling metrics:\noff:\n%s\non:\n%s", off, on)
+	}
+}
+
+// TestMetricsSnapshotDeterministic checks the deterministic snapshot is
+// byte-stable across repeated runs and across Parallelism levels: the
+// singleflight run cache simulates every design point exactly once per
+// cold pass, so event totals cannot depend on scheduling.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates two figures three times")
+	}
+	saved := Parallelism
+	defer func() {
+		Parallelism = saved
+		ResetRunCache()
+		obs.SetEnabled(false)
+		obs.Default().Reset()
+	}()
+	obs.SetEnabled(true)
+
+	capture := func(par int) []byte {
+		Parallelism = par
+		ResetRunCache()
+		obs.Default().Reset()
+		if _, err := RunAll("fig12", "fig13"); err != nil {
+			t.Fatal(err)
+		}
+		b, err := obs.Default().Snapshot(false).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	p8a := capture(8)
+	p8b := capture(8)
+	p1 := capture(1)
+	if !bytes.Equal(p8a, p8b) {
+		t.Errorf("snapshot differs between two identical Parallelism=8 runs:\n%s\n---\n%s", p8a, p8b)
+	}
+	if !bytes.Equal(p8a, p1) {
+		t.Errorf("snapshot differs between Parallelism=8 and Parallelism=1:\n%s\n---\n%s", p8a, p1)
+	}
+
+	// Sanity: the hot-path seams actually counted.
+	snap, err := obs.ParseSnapshot(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := map[string]bool{}
+	for _, m := range snap.Metrics {
+		if m.Count > 0 {
+			nonzero[m.Name] = true
+		}
+	}
+	for _, name := range []string{"memsim_load_misses", "core_trainings", "runcache_simulated", "figures_done"} {
+		if !nonzero[name] {
+			t.Errorf("expected %s > 0 in snapshot:\n%s", name, p1)
+		}
+	}
+}
+
+// TestEngineMetricsAlwaysOn checks the coarse engine counters fire without
+// obs.SetEnabled, since RunCacheCounters and the -v stats are built on them.
+func TestEngineMetricsAlwaysOn(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("test requires metrics disabled")
+	}
+	ResetRunCache()
+	defer ResetRunCache()
+	Fig13()
+	if s := RunCacheCounters(); s.Simulated == 0 {
+		t.Fatalf("runcache counters dead with metrics disabled: %+v", s)
+	}
+	if eng().runWall.Count() == 0 {
+		t.Error("run wall-time histogram recorded nothing")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"lva/internal/core"
 	"lva/internal/workloads"
@@ -28,20 +29,28 @@ var simGate = struct {
 
 func init() { simGate.cond = sync.NewCond(&simGate.mu) }
 
-// admit blocks until a simulation slot is free and claims it.
+// admit blocks until a simulation slot is free and claims it, recording
+// the wait on the (volatile) queue-wait histogram and publishing the new
+// occupancy on the in-flight gauge.
 func admit() {
+	m := eng()
+	start := time.Now()
 	simGate.mu.Lock()
 	for simGate.active >= max(1, Parallelism) {
 		simGate.cond.Wait()
 	}
 	simGate.active++
+	m.inflight.Set(int64(simGate.active))
 	simGate.mu.Unlock()
+	m.queueWait.Observe(time.Since(start).Seconds())
 }
 
 // release returns a slot claimed by admit.
 func release() {
+	m := eng()
 	simGate.mu.Lock()
 	simGate.active--
+	m.inflight.Set(int64(simGate.active))
 	simGate.cond.Signal()
 	simGate.mu.Unlock()
 }

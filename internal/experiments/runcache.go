@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lva/internal/workloads"
 )
@@ -55,10 +56,6 @@ type runCell struct {
 var (
 	runCells    sync.Map // canonical fingerprint -> *runCell
 	runCacheOff atomic.Bool
-
-	runHits        atomic.Uint64
-	runSims        atomic.Uint64
-	runPreciseHits atomic.Uint64
 )
 
 // runKey builds the canonical fingerprint of one simulation point. %#v on
@@ -71,24 +68,34 @@ func runKey(attach string, w workloads.Workload, cfg string, seed uint64) string
 }
 
 // cachedRun returns the memoized result for key, simulating at most once
-// per process. precise marks baseline runs for hit accounting.
+// per process. precise marks baseline runs for hit accounting. Counters
+// live on the obs registry (one counter surface for lva.go, lvaexp -v and
+// -metrics alike); the wall-time histogram is volatile and only wraps
+// simulations that actually execute.
 func cachedRun(key string, precise bool, sim func() RunResult) RunResult {
+	m := eng()
+	timed := func() RunResult {
+		start := time.Now()
+		r := sim()
+		m.runWall.Observe(time.Since(start).Seconds())
+		return r
+	}
 	if runCacheOff.Load() {
-		runSims.Add(1)
-		return sim()
+		m.cacheSims.Inc()
+		return timed()
 	}
 	c, _ := runCells.LoadOrStore(key, &runCell{})
 	cell := c.(*runCell)
 	hit := true
 	cell.once.Do(func() {
 		hit = false
-		runSims.Add(1)
-		cell.r = sim()
+		m.cacheSims.Inc()
+		cell.r = timed()
 	})
 	if hit {
-		runHits.Add(1)
+		m.cacheHits.Inc()
 		if precise {
-			runPreciseHits.Add(1)
+			m.preciseHits.Inc()
 		}
 	}
 	return cell.r
@@ -96,10 +103,11 @@ func cachedRun(key string, precise bool, sim func() RunResult) RunResult {
 
 // RunCacheCounters returns a snapshot of the run-cache counters.
 func RunCacheCounters() RunCacheStats {
+	m := eng()
 	return RunCacheStats{
-		Hits:        runHits.Load(),
-		Simulated:   runSims.Load(),
-		PreciseHits: runPreciseHits.Load(),
+		Hits:        m.cacheHits.Value(),
+		Simulated:   m.cacheSims.Value(),
+		PreciseHits: m.preciseHits.Value(),
 	}
 }
 
@@ -126,7 +134,8 @@ func ResetRunCache() {
 		fsCells.Delete(k)
 		return true
 	})
-	runHits.Store(0)
-	runSims.Store(0)
-	runPreciseHits.Store(0)
+	m := eng()
+	m.cacheHits.Reset()
+	m.cacheSims.Reset()
+	m.preciseHits.Reset()
 }

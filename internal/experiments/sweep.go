@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lva/internal/core"
+	"lva/internal/obs"
 	"lva/internal/workloads"
 )
 
@@ -230,12 +231,15 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 					pt.NormFetches = float64(pt.Fetches) / p
 				}
 				out[j.idx] = pt
+				eng().sweepPoints.Inc()
+				mu.Lock()
+				done++
+				d := done
 				if progress != nil {
-					mu.Lock()
-					done++
-					progress(done, total)
-					mu.Unlock()
+					progress(d, total)
 				}
+				mu.Unlock()
+				obs.Emit(obs.Event{Kind: obs.EventSweepPoint, Name: "lva", Done: d, Total: total})
 			}
 		}()
 	}

@@ -76,6 +76,7 @@ func Analyzers() []*Analyzer {
 		nopanicAnalyzer,
 		loopcaptureAnalyzer,
 		detfloatAnalyzer,
+		obshooksAnalyzer,
 	}
 }
 

@@ -96,6 +96,8 @@ func TestFixtures(t *testing.T) {
 		{"loopcapture_good", "loopcapture", false},
 		{"detfloat_bad", "detfloat", true},
 		{"detfloat_good", "detfloat", false},
+		{"obshooks_bad", "obshooks", true},
+		{"obshooks_good", "obshooks", false},
 	}
 	l := testLoader(t)
 	for _, tc := range cases {

@@ -19,6 +19,7 @@ var libraryPkgs = map[string]bool{
 	"lva/internal/isa":       true,
 	"lva/internal/memsim":    true,
 	"lva/internal/noc":       true,
+	"lva/internal/obs":       true,
 	"lva/internal/prefetch":  true,
 	"lva/internal/stats":     true,
 	"lva/internal/trace":     true,

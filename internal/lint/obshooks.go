@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// obshooksAnalyzer guards the observability seams of the simulator hot
+// paths. The packages on the per-load/per-miss path (memsim, cache, core)
+// must stay deterministic and zero-overhead-when-off, so inside them:
+//
+//   - time.Now is forbidden: wall-clock reads do not belong on a simulated
+//     path (timing metrics live in the experiment engine's volatile
+//     histograms), and a stray one is usually a debugging leftover.
+//   - mutating a package-level variable is forbidden: shared counters must
+//     go through the lva/internal/obs registry (atomic, race-safe under
+//     the cross-figure scheduler), not ad-hoc globals.
+//
+// Test files are exempt, as is anything acknowledged with //lint:ignore.
+var obshooksAnalyzer = &Analyzer{
+	Name: "obshooks",
+	Doc:  "forbid time.Now and package-level counter mutation in simulator hot-path packages; use the obs registry seams",
+	Run:  runObshooks,
+}
+
+// hotPathPkgs are the packages on the per-load simulation path.
+var hotPathPkgs = map[string]bool{
+	"lva/internal/memsim": true,
+	"lva/internal/cache":  true,
+	"lva/internal/core":   true,
+}
+
+func runObshooks(p *Pass) {
+	// Unlike the repo-wide analyzers, obshooks targets three named
+	// packages, so only its own fixtures opt in (the shared fixtures
+	// legitimately use time.Now for other analyzers).
+	if !hotPathPkgs[p.Pkg.Path] &&
+		!(isFixturePath(p.Pkg.Path) && strings.Contains(p.Pkg.Path, "obshooks")) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if p.InTestFile(n.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isTimeNow(p, n) {
+					p.Reportf(n.Pos(), "time.Now on a simulator hot path: wall-clock timing belongs in the experiment engine's volatile obs histograms")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportGlobalMutation(p, n.Pos(), lhs)
+				}
+			case *ast.IncDecStmt:
+				reportGlobalMutation(p, n.Pos(), n.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportGlobalMutation flags writes whose root identifier is a
+// package-level variable of the package under analysis.
+func reportGlobalMutation(p *Pass, pos token.Pos, e ast.Expr) {
+	id, ok := unwrapIdentExpr(e)
+	if !ok {
+		return
+	}
+	v, ok := p.Pkg.Info.ObjectOf(id).(*types.Var)
+	if !ok || v.Parent() != p.Pkg.Types.Scope() {
+		return
+	}
+	p.Reportf(pos, "mutation of package-level %s in a hot-path package: shared counters must go through the lva/internal/obs registry seam", v.Name())
+}

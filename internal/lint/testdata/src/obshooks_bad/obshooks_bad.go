@@ -1,0 +1,27 @@
+// Package obshooks_bad exercises the obshooks analyzer's failure cases:
+// wall-clock reads and ad-hoc global counters on a simulated hot path.
+package obshooks_bad
+
+import "time"
+
+// hits is the kind of package-level counter that races under the
+// cross-figure scheduler.
+var hits uint64
+
+// counts shows indexed globals are seen through the subscript.
+var counts [4]uint64
+
+// tracker shows field writes are seen through the selector.
+var tracker struct{ total int }
+
+// Access models a hot-path event handler that mutates globals directly.
+func Access(i int) {
+	hits++             // want:obshooks
+	counts[i]++        // want:obshooks
+	tracker.total += 1 // want:obshooks
+}
+
+// Stamp models a debugging leftover timing a simulated event.
+func Stamp() time.Time {
+	return time.Now() // want:obshooks
+}

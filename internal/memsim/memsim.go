@@ -13,6 +13,7 @@ import (
 
 	"lva/internal/cache"
 	"lva/internal/core"
+	"lva/internal/obs"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/value"
@@ -136,6 +137,10 @@ type Simulator struct {
 	fetches  uint64
 	approxPC map[uint64]struct{}
 
+	// om is non-nil only when obs metrics were enabled at construction;
+	// the load-hit fast path never touches it.
+	om *simMetrics
+
 	rec     *trace.Trace // optional capture
 	lastEnd []uint64     // per-thread instruction count at last recorded access
 }
@@ -150,6 +155,9 @@ func New(cfg Config) *Simulator {
 		cfg:      cfg,
 		l1:       cache.New(cfg.L1),
 		approxPC: make(map[uint64]struct{}),
+	}
+	if obs.Enabled() {
+		s.om = sharedSimMetrics()
 	}
 	switch cfg.Attach {
 	case AttachLVA:
@@ -227,15 +235,24 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 		return precise
 	}
 	s.misses++
+	if m := s.om; m != nil {
+		m.misses.Inc()
+	}
 
 	if approx && s.approx != nil {
 		d := s.approx.OnMiss(pc, precise)
 		if d.Fetch {
 			s.fetches++
 			s.l1.Fill(addr, false)
+			if m := s.om; m != nil {
+				m.fetches.Inc()
+			}
 		}
 		if d.Approximated {
 			s.covered++
+			if m := s.om; m != nil {
+				m.approx.Inc()
+			}
 			if s.cfg.Attach == AttachLVP {
 				// An idealized correct prediction equals the precise
 				// value; incorrect predictions roll back and re-execute,
@@ -248,6 +265,7 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 	}
 
 	// Precise miss path: demand fetch, plus prefetches if attached.
+	before := s.fetches
 	s.fetches++
 	s.l1.Fill(addr, false)
 	if s.pref != nil {
@@ -257,6 +275,11 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 				s.l1.Fill(t, true)
 			}
 		}
+	}
+	if m := s.om; m != nil {
+		// Demand fetch plus whatever the prefetcher pulled in, derived from
+		// the running total so the loop above stays metric-free.
+		m.fetches.Add(s.fetches - before)
 	}
 	return precise
 }
@@ -281,6 +304,9 @@ func (s *Simulator) Store(pc, addr uint64) {
 		s.fetches++
 		s.l1.Fill(addr, false)
 		s.l1.MarkDirty(addr)
+		if m := s.om; m != nil {
+			m.fetches.Inc()
+		}
 	} else {
 		s.l1.MarkDirty(addr)
 	}

@@ -1,0 +1,67 @@
+package memsim
+
+import (
+	"testing"
+
+	"lva/internal/obs"
+)
+
+// TestObsGatedAtConstruction checks the zero-overhead contract: a
+// simulator built with metrics disabled carries no metrics pointer at all,
+// and one built with them enabled counts misses on the shared seam.
+func TestObsGatedAtConstruction(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("test requires metrics disabled at entry")
+	}
+	s := New(DefaultConfig())
+	if s.om != nil {
+		t.Fatal("disabled simulator should have a nil metrics seam")
+	}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	s2 := New(DefaultConfig())
+	if s2.om == nil {
+		t.Fatal("enabled simulator should have a live metrics seam")
+	}
+	baseMiss := s2.om.misses.Value()
+	baseFetch := s2.om.fetches.Value()
+	s2.LoadFloat(0x400, 0x100000, 1.5, false) // cold: miss + demand fetch
+	s2.LoadFloat(0x400, 0x100000, 1.5, false) // hit: no metric movement
+	if got := s2.om.misses.Value() - baseMiss; got != 1 {
+		t.Errorf("miss counter moved by %d, want 1", got)
+	}
+	if got := s2.om.fetches.Value() - baseFetch; got != 1 {
+		t.Errorf("fetch counter moved by %d, want 1", got)
+	}
+}
+
+// TestResultUnchangedByMetrics runs the same access sequence with metrics
+// off and on and requires identical Result structs — instrumentation must
+// observe, never steer.
+func TestResultUnchangedByMetrics(t *testing.T) {
+	run := func() Result {
+		cfg := DefaultConfig()
+		cfg.Approx.ValueDelay = 0
+		s := New(cfg)
+		for i := 0; i < 200; i++ {
+			addr := uint64(0x100000 + (i%32)*64)
+			s.LoadFloat(0x400, addr, float64(i%7), true)
+			if i%3 == 0 {
+				s.Store(0x500, addr+8)
+			}
+			s.Tick(2)
+		}
+		return s.Result()
+	}
+	if obs.Enabled() {
+		t.Fatal("test requires metrics disabled at entry")
+	}
+	off := run()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	on := run()
+	if off != on {
+		t.Fatalf("Result changed by enabling metrics:\noff: %+v\non:  %+v", off, on)
+	}
+}

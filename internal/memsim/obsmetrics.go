@@ -1,0 +1,28 @@
+package memsim
+
+import (
+	"sync"
+
+	"lva/internal/obs"
+)
+
+// simMetrics is the package's obs seam (see lvalint's obshooks analyzer:
+// hot-path counters must live behind a struct like this, wired only when
+// obs.SetEnabled(true) ran before construction). All simulators in the
+// process share one instance, so the counters aggregate every kernel
+// simulated since enablement.
+type simMetrics struct {
+	misses  *obs.Counter
+	approx  *obs.Counter
+	fetches *obs.Counter
+}
+
+// sharedSimMetrics lazily registers the package's metrics exactly once.
+var sharedSimMetrics = sync.OnceValue(func() *simMetrics {
+	r := obs.Default()
+	return &simMetrics{
+		misses:  r.Counter("memsim_load_misses", "L1 load misses across all simulators"),
+		approx:  r.Counter("memsim_approximations", "L1 load misses covered by an approximation or prediction"),
+		fetches: r.Counter("memsim_fetches", "blocks fetched into the L1 (demand + prefetch + store allocate)"),
+	}
+})

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and ServeDebug may be called more than once in tests.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060"; use
+// ":0" to pick a free port) exposing net/http/pprof under /debug/pprof/
+// and expvar under /debug/vars, with the default registry published as the
+// expvar variable "lva_metrics" (full snapshot, volatile metrics
+// included). It returns the bound address. The server runs on a background
+// goroutine for the life of the process — this is an opt-in debugging
+// endpoint wired to a CLI flag, not a managed service.
+func ServeDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("lva_metrics", expvar.Func(func() any {
+			return Default().Snapshot(true)
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	go func() {
+		// Serve exits only when the listener closes at process death;
+		// the error is uninteresting for a debug endpoint.
+		_ = http.Serve(ln, http.DefaultServeMux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeDebug is the -pprof endpoint smoke test: the debug server must
+// serve the pprof index and expose the registry through expvar.
+func TestServeDebug(t *testing.T) {
+	Default().Counter("test_debug_counter", "smoke-test marker").Inc()
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := fetch("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index does not look like pprof:\n%.200s", body)
+	}
+
+	body := fetch("/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%.200s", err, body)
+	}
+	raw, ok := vars["lva_metrics"]
+	if !ok {
+		t.Fatal("/debug/vars missing lva_metrics")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("lva_metrics is not a snapshot: %v", err)
+	}
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "test_debug_counter" && m.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lva_metrics snapshot missing test_debug_counter: %s", raw)
+	}
+
+	// A second ServeDebug must not panic on the expvar re-publish.
+	if _, err := ServeDebug("127.0.0.1:0"); err != nil {
+		t.Fatalf("second ServeDebug: %v", err)
+	}
+}

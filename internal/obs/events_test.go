@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEmitDelivery checks subscribe → emit → cancel semantics.
+func TestEmitDelivery(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	cancel := OnEvent(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	Emit(Event{Kind: EventFigureDone, Name: "fig1", Done: 1, Total: 18})
+	cancel()
+	Emit(Event{Kind: EventFigureDone, Name: "fig2", Done: 2, Total: 18})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Name != "fig1" {
+		t.Fatalf("got %+v, want exactly the fig1 event", got)
+	}
+}
+
+// TestEmitNoSubscribersCheap checks the no-listener fast path does not
+// allocate — Emit sits on per-design-point paths of the engine.
+func TestEmitNoSubscribersCheap(t *testing.T) {
+	e := Event{Kind: EventSweepPoint, Name: "s", Done: 1, Total: 2}
+	allocs := testing.AllocsPerRun(1000, func() { Emit(e) })
+	if allocs != 0 {
+		t.Fatalf("Emit with no subscribers allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestProgressPrinter checks figure lines always print and sweep points
+// are throttled to every 8th plus the last.
+func TestProgressPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressPrinter(&buf)
+	p(Event{Kind: EventFigureDone, Name: "fig4", Done: 3, Total: 18})
+	for i := 1; i <= 10; i++ {
+		p(Event{Kind: EventSweepPoint, Name: "degree", Done: i, Total: 10})
+	}
+	out := buf.String()
+	if !strings.Contains(out, "figure fig4 done (3/18)") {
+		t.Errorf("missing figure line:\n%s", out)
+	}
+	if !strings.Contains(out, "sweep degree 8/10") || !strings.Contains(out, "sweep degree 10/10") {
+		t.Errorf("missing throttled sweep lines:\n%s", out)
+	}
+	if n := strings.Count(out, "sweep degree"); n != 2 {
+		t.Errorf("sweep printed %d times, want 2 (8th point and final):\n%s", n, out)
+	}
+}

@@ -1,5 +1,6 @@
-// Package stats provides counters and small numeric helpers shared by the
-// simulators and experiment drivers.
+// Package stats provides small numeric helpers shared by the simulators
+// and experiment drivers. Event counting lives in lva/internal/obs, whose
+// registry counters are race-safe under the cross-figure scheduler.
 package stats
 
 import (
@@ -7,21 +8,6 @@ import (
 	"math"
 	"sort"
 )
-
-// Counter is a named monotonically increasing event counter.
-type Counter struct {
-	Name string
-	N    uint64
-}
-
-// Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.N += n }
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.N++ }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.N }
 
 // Ratio returns a/b, or 0 when b is zero.
 func Ratio(a, b uint64) float64 {

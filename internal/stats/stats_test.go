@@ -7,15 +7,6 @@ import (
 	"testing/quick"
 )
 
-func TestCounter(t *testing.T) {
-	c := Counter{Name: "hits"}
-	c.Inc()
-	c.Add(4)
-	if c.Value() != 5 {
-		t.Fatalf("counter = %d", c.Value())
-	}
-}
-
 func TestRatioAndPerKilo(t *testing.T) {
 	if Ratio(1, 0) != 0 {
 		t.Fatal("Ratio with zero denominator must be 0")

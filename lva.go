@@ -38,6 +38,7 @@ import (
 	"lva/internal/fullsys"
 	"lva/internal/isa"
 	"lva/internal/memsim"
+	"lva/internal/obs"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/value"
@@ -216,6 +217,24 @@ func RunCacheCounters() RunCacheStats { return experiments.RunCacheCounters() }
 // ResetRunCache drops every memoized simulation result and zeroes the
 // counters, restoring process-cold behaviour (for tests and benchmarks).
 func ResetRunCache() { experiments.ResetRunCache() }
+
+// MetricsSnapshot is a frozen, name-sorted view of the observability
+// registry (see internal/obs).
+type MetricsSnapshot = obs.Snapshot
+
+// SetMetricsEnabled toggles hot-path metric collection (per-miss counters
+// in the simulator, per-training error histograms in the approximator).
+// Call it before constructing simulators or running experiments; the
+// engine's coarse per-run metrics are always collected. Off by default so
+// the simulator hot paths carry zero instrumentation cost.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// Metrics snapshots the process-wide observability registry.
+// includeVolatile also captures wall-clock timing histograms, whose values
+// change run to run; leave it false for byte-stable output.
+func Metrics(includeVolatile bool) MetricsSnapshot {
+	return obs.Default().Snapshot(includeVolatile)
+}
 
 // CaptureTrace records a workload's 4-thread access trace for phase-2 replay.
 func CaptureTrace(w Workload, seed uint64) *Trace {
