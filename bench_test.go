@@ -17,7 +17,9 @@ import (
 
 	"lva"
 	"lva/internal/experiments"
+	"lva/internal/memsim"
 	"lva/internal/stats"
+	"lva/internal/workloads"
 )
 
 // runFigure drives one experiment per iteration; the figure's table is
@@ -241,6 +243,38 @@ func BenchmarkSimulatorLoadHitObs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.LoadFloat(0x400, 0x1000, 1, false)
+	}
+}
+
+// Batched-accessor micro-benchmarks: per-element cost of the range/row
+// helpers the streaming kernels (blackscholes, fluidanimate, x264) use on
+// their hot arrays. Steady state is all-hits over a resident window, the
+// shape the batching was built for; b.N counts elements, not calls.
+
+func BenchmarkF64LoadRange(b *testing.B) {
+	sim := memsim.New(memsim.DefaultConfig())
+	arena := workloads.NewArena()
+	arr := workloads.NewF64Array(arena, 512)
+	dst := make([]float64, 64)
+	arr.LoadRange(sim, 0x400, 0, 64, true, dst) // warm the window
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		arr.LoadRange(sim, 0x400, 0, 64, true, dst)
+	}
+}
+
+func BenchmarkI32LoadRow(b *testing.B) {
+	sim := memsim.New(memsim.DefaultConfig())
+	arena := workloads.NewArena()
+	pix := workloads.NewI32Array(arena, 1024)
+	pcs := []uint64{0x400, 0x404, 0x408, 0x40c}
+	dst := make([]int32, 64)
+	pix.LoadRow(sim, pcs, 0, 64, true, dst) // warm the row
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		pix.LoadRow(sim, pcs, 0, 64, true, dst)
 	}
 }
 

@@ -8,11 +8,15 @@
 #   test   — go test ./...
 #   race   — go test -race ./...
 #
-# `./ci.sh bench` instead runs the benchmark suite once (-benchtime=1x),
-# writes the machine-readable go-test event stream to BENCH_<stamp>.json,
-# and regenerates every figure with `lvaexp -metrics` so the deterministic
-# metrics snapshot (METRICS_<stamp>.json) is archived next to it; both are
-# advisory, not a gate.
+# `./ci.sh bench [-baseline FILE]` instead runs the benchmark suite once
+# (-benchtime=1x), writes the machine-readable go-test event stream to
+# BENCH_<stamp>.json, and regenerates every figure with `lvaexp -metrics`
+# so the deterministic metrics snapshot (METRICS_<stamp>.json) is archived
+# next to it. With -baseline it then compares the fresh snapshot against
+# FILE via cmd/benchdiff and FAILS on a >15% wall-time regression in any
+# benchmark slower than 1 ms — the local perf gate. CI runs the same
+# compare with BENCHDIFF_FLAGS=-warn-only because shared runners are too
+# noisy to block on.
 #
 # `./ci.sh overhead` checks the observability layer's cost: it runs the
 # hot-path micro-benchmarks with the obs registry disabled and enabled and
@@ -31,6 +35,11 @@ step() {
 }
 
 if [[ "${1:-}" == "bench" ]]; then
+    baseline=""
+    if [[ "${2:-}" == "-baseline" ]]; then
+        baseline="${3:?ci.sh bench -baseline requires a BENCH_*.json path}"
+        [[ -f "${baseline}" ]] || { echo "ci.sh: baseline ${baseline} not found" >&2; exit 2; }
+    fi
     stamp="$(date -u +%Y%m%dT%H%M%SZ)"
     out="BENCH_${stamp}.json"
     echo "==> go test -bench (single iteration) -> ${out}"
@@ -40,6 +49,12 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> lvaexp -metrics (full registry) -> ${metrics}"
     go run ./cmd/lvaexp -metrics "${metrics}" all > /dev/null
     echo "ci.sh: metrics snapshot written to ${metrics}"
+    if [[ -n "${baseline}" ]]; then
+        # BENCHDIFF_FLAGS=-warn-only turns the gate advisory (used by CI).
+        echo "==> benchdiff ${baseline} -> ${out}"
+        # shellcheck disable=SC2086
+        go run ./cmd/benchdiff ${BENCHDIFF_FLAGS:-} "${baseline}" "${out}"
+    fi
     exit 0
 fi
 

@@ -1,0 +1,177 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `./ci.sh bench` (go test -json event streams) and prints per-benchmark
+// wall-time and allocation deltas.
+//
+//	benchdiff [-max-regress 0.15] [-min-ns 1000000] [-warn-only] OLD.json NEW.json
+//
+// It exits nonzero when any benchmark slower than -min-ns regresses by more
+// than -max-regress in ns/op, so `./ci.sh bench -baseline OLD.json` is a
+// local perf gate. Benchmarks under the floor are reported but never gate:
+// at nanosecond scale a shared machine's scheduler noise exceeds any
+// sensible bound. -warn-only downgrades failures to warnings for CI, where
+// runners are noisy and heterogeneous.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	hasMem      bool
+}
+
+type event struct {
+	Action string
+	Test   string
+	Output string
+}
+
+// parseSnapshot extracts benchmark results from a go test -json stream.
+// The benchmark name comes from the event's Test field (the printed line
+// may omit it when tabwriter splits name and values across events); the
+// measurements come from scanning "value unit" pairs in the output line.
+func parseSnapshot(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate trailing junk; snapshots are advisory artifacts
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") ||
+			!strings.Contains(ev.Output, "ns/op") {
+			continue
+		}
+		r, ok := parseBenchLine(ev.Output)
+		if ok {
+			out[ev.Test] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func parseBenchLine(line string) (result, bool) {
+	var r result
+	fields := strings.Fields(line)
+	seen := false
+	for i := 1; i < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+			r.hasMem = true
+		case "allocs/op":
+			r.AllocsPerOp = v
+			r.hasMem = true
+		}
+	}
+	return r, seen
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.15,
+		"fail when ns/op regresses by more than this fraction")
+	minNs := flag.Float64("min-ns", 1e6,
+		"only benchmarks at least this many ns/op can fail the gate")
+	warnOnly := flag.Bool("warn-only", false,
+		"report regressions but always exit 0 (for noisy CI runners)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	oldRes, err := parseSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := parseSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: snapshots share no benchmarks")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-40s %14s %14s %8s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs o→n")
+	failed := 0
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := ""
+		if delta > *maxRegress {
+			if o.NsPerOp >= *minNs {
+				failed++
+				mark = "  REGRESSION"
+			} else {
+				mark = "  (noise-scale, not gated)"
+			}
+		}
+		allocs := ""
+		if o.hasMem || n.hasMem {
+			allocs = fmt.Sprintf("%.0f→%.0f", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %12s%s\n",
+			name, o.NsPerOp, n.NsPerOp, delta*100, allocs, mark)
+	}
+
+	for name, r := range oldRes {
+		if _, ok := newRes[name]; !ok && r.NsPerOp >= *minNs {
+			fmt.Printf("%-40s missing from new snapshot\n", name)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
+			failed, *maxRegress*100)
+		if !*warnOnly {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: -warn-only set, not failing")
+		return
+	}
+	fmt.Printf("benchdiff: no wall-time regression beyond %.0f%% (floor %.0fms)\n",
+		*maxRegress*100, *minNs/1e6)
+}

@@ -62,19 +62,34 @@ func (s Stats) Misses() uint64 { return s.LoadMiss + s.StoreMiss }
 // Accesses returns total load+store accesses.
 func (s Stats) Accesses() uint64 { return s.Loads + s.Stores }
 
-type line struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	prefetch bool   // inserted by a prefetcher, not yet demanded
-	lru      uint64 // larger = more recently used
+const (
+	flagDirty uint8 = 1 << iota
+	flagPrefetch // inserted by a prefetcher, not yet demanded
+)
+
+// meta is the per-line state the probe does not need: recency and flag
+// bits. It lives in its own slice so the tag scan stays dense.
+type meta struct {
+	lru   uint64 // larger = more recently used
+	flags uint8
 }
 
 // Cache is a set-associative cache. It tracks block presence and
 // recency only; data payloads live with the workloads.
 type Cache struct {
-	cfg        Config
-	sets       [][]line
+	cfg Config
+	// tags[set*ways+way] holds the line's key: tag<<1|1, or 0 when the way
+	// is invalid. Keys are always odd, so an invalid way can never match a
+	// probe, and validity needs no separate flag. Keeping bare keys in
+	// their own slice means one 8-way set's tags span a single 64-byte
+	// host cache line — the probe below is the hottest loop in the
+	// repository. (The shift drops tag bit 63; simulated addresses are
+	// synthetic and nowhere near 2^63.)
+	tags []uint64
+	// meta[set*ways+way] carries recency + dirty/prefetch bits, touched
+	// only after a probe resolves a way.
+	meta       []meta
+	ways       int
 	setMask    uint64
 	setBits    uint // popcount of setMask, precomputed: index/rebuild are the hottest ops
 	blockShift uint
@@ -93,14 +108,12 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
 	mask := uint64(cfg.Sets() - 1)
 	c := &Cache{
 		cfg:        cfg,
-		sets:       sets,
+		tags:       make([]uint64, cfg.Sets()*cfg.Ways),
+		meta:       make([]meta, cfg.Sets()*cfg.Ways),
+		ways:       cfg.Ways,
 		setMask:    mask,
 		setBits:    uint(bits.OnesCount64(mask)),
 		blockShift: uint(bits.TrailingZeros64(uint64(cfg.BlockBytes))),
@@ -125,10 +138,18 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	return blk & c.setMask, blk >> c.setBits
 }
 
-func (c *Cache) find(set, tag uint64) int {
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
+// window returns one set's tag keys plus the flat base index of its first
+// way; all way indexing inside the window is bounds-check-free.
+func (c *Cache) window(set uint64) ([]uint64, int) {
+	base := int(set) * c.ways
+	return c.tags[base : base+c.ways], base
+}
+
+// probe scans a set's tag window for key. It is the shared inner probe of
+// every lookup path; kept tiny so it inlines.
+func probe(w []uint64, key uint64) int {
+	for i := range w {
+		if w[i] == key {
 			return i
 		}
 	}
@@ -139,37 +160,62 @@ func (c *Cache) find(set, tag uint64) int {
 // updating recency or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	return c.find(set, tag) >= 0
+	w, _ := c.window(set)
+	return probe(w, tag<<1|1) >= 0
 }
 
-// Load performs a demand load of addr. It returns true on a hit. On a miss
-// the block is NOT inserted; callers decide whether the fetch happens (LVA
-// may elide it entirely) and call Fill.
+// Probe returns the flat line index of addr's block, or -1 on a miss. It
+// performs no accounting: hot callers (the phase-1 simulator) pair it with
+// Touch/TouchStore on a hit and keep their own demand counters, so the
+// whole hit path inlines into the caller with no cache-package call frame.
+func (c *Cache) Probe(addr uint64) int {
+	blk := addr >> c.blockShift
+	base := int(blk&c.setMask) * c.ways
+	w := c.tags[base : base+c.ways]
+	key := (blk>>c.setBits)<<1 | 1
+	for i := range w {
+		if w[i] == key {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// Touch refreshes recency and prefetch accounting for the line at the flat
+// index a Probe hit returned.
+func (c *Cache) Touch(idx int) {
+	c.clock++
+	m := &c.meta[idx]
+	m.lru = c.clock
+	if m.flags&flagPrefetch != 0 {
+		m.flags &^= flagPrefetch
+		c.PrefetchHits++
+	}
+}
+
+// TouchStore is Touch plus the store path's dirty bit.
+func (c *Cache) TouchStore(idx int) {
+	c.clock++
+	m := &c.meta[idx]
+	m.lru = c.clock
+	m.flags |= flagDirty
+	if m.flags&flagPrefetch != 0 {
+		m.flags &^= flagPrefetch
+		c.PrefetchHits++
+	}
+}
+
+// Load performs a demand load of addr, with hit/miss accounting in the
+// cache's own stats. It returns true on a hit. On a miss the block is NOT
+// inserted; callers decide whether the fetch happens (LVA may elide it
+// entirely) and call Fill.
 func (c *Cache) Load(addr uint64) bool {
 	c.stats.Loads++
-	return c.access(addr, false)
-}
-
-func (c *Cache) access(addr uint64, store bool) bool {
-	set, tag := c.index(addr)
-	if i := c.find(set, tag); i >= 0 {
-		c.clock++
-		l := &c.sets[set][i]
-		l.lru = c.clock
-		if store {
-			l.dirty = true
-		}
-		if l.prefetch {
-			l.prefetch = false
-			c.PrefetchHits++
-		}
+	if idx := c.Probe(addr); idx >= 0 {
+		c.Touch(idx)
 		return true
 	}
-	if store {
-		c.stats.StoreMiss++
-	} else {
-		c.stats.LoadMiss++
-	}
+	c.stats.LoadMiss++
 	return false
 }
 
@@ -178,7 +224,12 @@ func (c *Cache) access(addr uint64, store bool) bool {
 // never approximated, matching the paper's load-only focus).
 func (c *Cache) Store(addr uint64) bool {
 	c.stats.Stores++
-	return c.access(addr, true)
+	if idx := c.Probe(addr); idx >= 0 {
+		c.TouchStore(idx)
+		return true
+	}
+	c.stats.StoreMiss++
+	return false
 }
 
 // Fill inserts the block containing addr, evicting the LRU way if needed.
@@ -187,30 +238,48 @@ func (c *Cache) Store(addr uint64) bool {
 // and whether that victim was dirty (needs a writeback).
 func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, wasValid, wasDirty bool) {
 	set, tag := c.index(addr)
-	if i := c.find(set, tag); i >= 0 {
+	w, base := c.window(set)
+	key := tag<<1 | 1
+	if i := probe(w, key); i >= 0 {
 		// Already resident (e.g. prefetch raced a demand fill): refresh.
 		c.clock++
-		c.sets[set][i].lru = c.clock
+		c.meta[base+i].lru = c.clock
 		return 0, false, false
 	}
+	return c.fill(set, w, base, key, prefetched)
+}
+
+// FillAbsent is Fill for callers that just observed the block miss (or
+// checked Contains) in the same access, with no intervening insertions: it
+// skips Fill's redundant residency probe. The phase-1 demand-miss path
+// fills on every miss, so the probe it elides ran once per miss.
+func (c *Cache) FillAbsent(addr uint64, prefetched bool) (evicted uint64, wasValid, wasDirty bool) {
+	set, tag := c.index(addr)
+	w, base := c.window(set)
+	return c.fill(set, w, base, tag<<1|1, prefetched)
+}
+
+// fill inserts key into the set window, evicting if every way is valid.
+func (c *Cache) fill(set uint64, w []uint64, base int, key uint64, prefetched bool) (evicted uint64, wasValid, wasDirty bool) {
 	c.stats.Fills++
+	mw := c.meta[base : base+c.ways]
+	// One pass: first invalid way wins, else the first way with minimal
+	// recency (identical choice to scanning twice, at half the loads).
 	victim := -1
-	for i := range c.sets[set] {
-		if !c.sets[set][i].valid {
+	minIdx := 0
+	for i := range w {
+		if w[i] == 0 {
 			victim = i
 			break
 		}
+		if mw[i].lru < mw[minIdx].lru {
+			minIdx = i
+		}
 	}
 	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(c.sets[set]); i++ {
-			if c.sets[set][i].lru < c.sets[set][victim].lru {
-				victim = i
-			}
-		}
-		v := &c.sets[set][victim]
+		victim = minIdx
 		c.stats.Evictions++
-		if v.dirty {
+		if mw[victim].flags&flagDirty != 0 {
 			c.stats.Writebacks++
 			wasDirty = true
 		}
@@ -220,11 +289,16 @@ func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, wasValid, wa
 				m.writebacks.Inc()
 			}
 		}
-		evicted = c.rebuild(set, v.tag)
+		evicted = c.rebuild(set, w[victim]>>1)
 		wasValid = true
 	}
 	c.clock++
-	c.sets[set][victim] = line{tag: tag, valid: true, lru: c.clock, prefetch: prefetched}
+	var flags uint8
+	if prefetched {
+		flags = flagPrefetch
+	}
+	w[victim] = key
+	mw[victim] = meta{lru: c.clock, flags: flags}
 	return evicted, wasValid, wasDirty
 }
 
@@ -237,10 +311,11 @@ func (c *Cache) rebuild(set, tag uint64) uint64 {
 // it was present and whether it was dirty (the coherence layer needs both).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	if i := c.find(set, tag); i >= 0 {
-		l := &c.sets[set][i]
-		present, dirty = true, l.dirty
-		*l = line{}
+	w, base := c.window(set)
+	if i := probe(w, tag<<1|1); i >= 0 {
+		present, dirty = true, c.meta[base+i].flags&flagDirty != 0
+		w[i] = 0
+		c.meta[base+i] = meta{}
 	}
 	return present, dirty
 }
@@ -249,19 +324,18 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // modeled externally).
 func (c *Cache) MarkDirty(addr uint64) {
 	set, tag := c.index(addr)
-	if i := c.find(set, tag); i >= 0 {
-		c.sets[set][i].dirty = true
+	w, base := c.window(set)
+	if i := probe(w, tag<<1|1); i >= 0 {
+		c.meta[base+i].flags |= flagDirty
 	}
 }
 
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, s := range c.sets {
-		for _, l := range s {
-			if l.valid {
-				n++
-			}
+	for _, k := range c.tags {
+		if k != 0 {
+			n++
 		}
 	}
 	return n

@@ -54,30 +54,41 @@ type entry struct {
 }
 
 // pendingTrain models value delay: the actual value arrives at the history
-// buffers only after `countdown` further load instructions have issued.
+// buffers only once the core's load counter reaches `due`.
 type pendingTrain struct {
 	set       int         // table set captured at miss time
 	tag       uint64      // tag captured at miss time
 	actual    value.Value // precise value from memory
 	approx    value.Value // value the approximator generated (or would have)
 	hadApprox bool        // whether approx is meaningful for confidence
-	countdown int
+	due       uint64      // loadTick at which the fetched value arrives
 }
 
 // Approximator is the load value approximator of Figure 3. It is not safe
 // for concurrent use; the simulators instantiate one per core.
 type Approximator struct {
-	cfg      Config
-	idxMask  uint64
-	idxBits  uint
-	tagMask  uint64
-	table    [][]entry // [set][way]
+	cfg     Config
+	idxMask uint64
+	idxBits uint
+	tagMask uint64
+	// table holds every way of every set contiguously, indexed
+	// set*ways + way — the same flat layout as internal/cache, so a set
+	// probe touches adjacent memory instead of chasing per-set slices.
+	table    []entry
+	ways     int
 	clock    uint64
 	ghb      []value.Value // ring of last GHBSize trained values
 	ghbHead  int
 	ghbCount int
-	pending  []pendingTrain
-	stats    Stats
+	// pending is a FIFO ring of in-flight trainings ordered by due tick
+	// (delays are uniform, so enqueue order IS due order). A ring with a
+	// head cursor makes OnLoad's advance a single head comparison instead
+	// of a decrement-and-compact walk over every in-flight entry per load.
+	pending   []pendingTrain
+	pendHead  int
+	pendCount int
+	loadTick  uint64 // loads issued so far (OnLoad calls)
+	stats     Stats
 	// om is non-nil only when obs metrics were enabled at construction.
 	om *coreMetrics
 }
@@ -92,16 +103,13 @@ func New(cfg Config) *Approximator {
 	for 1<<idxBits < cfg.Sets() {
 		idxBits++
 	}
-	table := make([][]entry, cfg.Sets())
-	for i := range table {
-		table[i] = make([]entry, cfg.TableWays)
-	}
 	a := &Approximator{
 		cfg:     cfg,
 		idxMask: uint64(cfg.Sets() - 1),
 		idxBits: idxBits,
 		tagMask: (uint64(1) << cfg.TagBits) - 1,
-		table:   table,
+		table:   make([]entry, cfg.Sets()*cfg.TableWays),
+		ways:    cfg.TableWays,
 	}
 	if cfg.GHBSize > 0 {
 		a.ghb = make([]value.Value, cfg.GHBSize)
@@ -138,10 +146,17 @@ func (a *Approximator) hash(pc uint64) (set int, tag uint64) {
 	return int(h & a.idxMask), (h >> a.idxBits) & a.tagMask
 }
 
+// setOf returns the ways of one table set as a window into the flat array.
+func (a *Approximator) setOf(set int) []entry {
+	base := set * a.ways
+	return a.table[base : base+a.ways]
+}
+
 // lookup finds the tag-matching entry in a set and refreshes its recency.
 func (a *Approximator) lookup(set int, tag uint64) *entry {
-	for i := range a.table[set] {
-		e := &a.table[set][i]
+	w := a.setOf(set)
+	for i := range w {
+		e := &w[i]
 		if e.valid && e.tag == tag {
 			a.clock++
 			e.lru = a.clock
@@ -235,39 +250,65 @@ func (a *Approximator) lvpMiss(set int, tag uint64, e *entry, actual value.Value
 
 // enqueueTrain schedules a training commit after the configured value delay.
 func (a *Approximator) enqueueTrain(set int, tag uint64, actual, approx value.Value, hadApprox bool) {
-	t := pendingTrain{set: set, tag: tag, actual: actual, approx: approx, hadApprox: hadApprox, countdown: a.cfg.ValueDelay}
-	if t.countdown == 0 {
+	t := pendingTrain{set: set, tag: tag, actual: actual, approx: approx, hadApprox: hadApprox}
+	if a.cfg.ValueDelay == 0 {
 		a.commitTrain(t)
 		return
 	}
-	a.pending = append(a.pending, t)
+	t.due = a.loadTick + uint64(a.cfg.ValueDelay)
+	if a.pendCount == len(a.pending) {
+		a.growPending()
+	}
+	a.pending[(a.pendHead+a.pendCount)%len(a.pending)] = t
+	a.pendCount++
+}
+
+// growPending (re)sizes the pending ring. Steady state holds at most
+// ValueDelay in-flight trainings (one enqueue per load, each live for
+// ValueDelay loads), but callers driving OnMiss without OnLoad (tests,
+// benchmarks) can exceed that, so the ring doubles like a slice.
+func (a *Approximator) growPending() {
+	next := make([]pendingTrain, max(2*len(a.pending), a.cfg.ValueDelay+1))
+	for i := 0; i < a.pendCount; i++ {
+		next[i] = a.pending[(a.pendHead+i)%len(a.pending)]
+	}
+	a.pending = next
+	a.pendHead = 0
 }
 
 // OnLoad must be called once per load instruction issued by the core (hit
-// or miss, approximate or not). It advances the value-delay countdowns:
-// blocks "arrive" only after the configured number of further loads.
+// or miss, approximate or not). It advances the load tick against which
+// value-delay due times are checked: blocks "arrive" only after the
+// configured number of further loads. The common case (nothing in flight)
+// is an inlinable counter bump plus one compare; the commit walk lives in
+// advancePending so this wrapper stays under the inliner budget of the
+// simulator's load path.
 func (a *Approximator) OnLoad() {
-	if len(a.pending) == 0 {
+	a.loadTick++
+	if a.pendCount == 0 {
 		return
 	}
-	kept := a.pending[:0]
-	for i := range a.pending {
-		a.pending[i].countdown--
-		if a.pending[i].countdown <= 0 {
-			a.commitTrain(a.pending[i])
-		} else {
-			kept = append(kept, a.pending[i])
+	a.advancePending()
+}
+
+func (a *Approximator) advancePending() {
+	for a.pendCount > 0 {
+		t := a.pending[a.pendHead]
+		if t.due > a.loadTick {
+			return
 		}
+		a.pendHead = (a.pendHead + 1) % len(a.pending)
+		a.pendCount--
+		a.commitTrain(t)
 	}
-	a.pending = kept
 }
 
 // Drain commits all pending trainings immediately (end of simulation).
 func (a *Approximator) Drain() {
-	for _, t := range a.pending {
-		a.commitTrain(t)
+	for ; a.pendCount > 0; a.pendCount-- {
+		a.commitTrain(a.pending[a.pendHead])
+		a.pendHead = (a.pendHead + 1) % len(a.pending)
 	}
-	a.pending = a.pending[:0]
 }
 
 // commitTrain performs step 4 of Figure 2: X_actual is pushed into the GHB
@@ -292,22 +333,23 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 	e := a.lookup(t.set, t.tag)
 	if e == nil {
 		// (Re)allocate: pick an invalid way or evict the LRU one.
+		w := a.setOf(t.set)
 		victim := 0
-		for i := range a.table[t.set] {
-			if !a.table[t.set][i].valid {
+		for i := range w {
+			if !w[i].valid {
 				victim = i
 				break
 			}
-			if a.table[t.set][i].lru < a.table[t.set][victim].lru {
+			if w[i].lru < w[victim].lru {
 				victim = i
 			}
 		}
 		a.clock++
 		// Reuse the victim's LHB backing array: retagging is frequent under
 		// hash aliasing and reallocation here dominated the miss path.
-		lhb := a.table[t.set][victim].lhb[:0]
-		a.table[t.set][victim] = entry{valid: true, tag: t.tag, conf: 0, degree: a.cfg.Degree, lru: a.clock, lhb: lhb}
-		e = &a.table[t.set][victim]
+		lhb := w[victim].lhb[:0]
+		w[victim] = entry{valid: true, tag: t.tag, conf: 0, degree: a.cfg.Degree, lru: a.clock, lhb: lhb}
+		e = &w[victim]
 	}
 	// Maintain the LHB as a fixed window in place: append until full, then
 	// slide left, never re-slicing (which churned the backing array).
@@ -363,32 +405,31 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 // Reset clears all table, history and pending-training state, keeping the
 // configuration. Statistics are also reset.
 func (a *Approximator) Reset() {
-	for s := range a.table {
-		for w := range a.table[s] {
-			a.table[s][w] = entry{}
-		}
+	for i := range a.table {
+		a.table[i] = entry{}
 	}
 	for i := range a.ghb {
 		a.ghb[i] = value.Value{}
 	}
 	a.ghbHead, a.ghbCount = 0, 0
-	a.pending = a.pending[:0]
+	a.pendHead, a.pendCount = 0, 0
+	a.loadTick = 0
 	a.stats = Stats{}
 }
 
 // PendingTrainings reports how many fetched blocks are still in flight
 // (useful for tests of the value-delay machinery).
-func (a *Approximator) PendingTrainings() int { return len(a.pending) }
+func (a *Approximator) PendingTrainings() int { return a.pendCount }
 
 // EntryConfidence exposes the confidence counter for the entry a PC hashes
 // to with the current GHB state, for tests and introspection. The second
 // result reports whether a valid, tag-matching entry exists.
 func (a *Approximator) EntryConfidence(pc uint64) (int, bool) {
 	set, tag := a.hash(pc)
-	for i := range a.table[set] {
-		e := &a.table[set][i]
-		if e.valid && e.tag == tag {
-			return e.conf, true
+	w := a.setOf(set)
+	for i := range w {
+		if w[i].valid && w[i].tag == tag {
+			return w[i].conf, true
 		}
 	}
 	return 0, false
@@ -398,11 +439,9 @@ func (a *Approximator) EntryConfidence(pc uint64) (int, bool) {
 // the hardware-budget discussion of §VII-A).
 func (a *Approximator) OccupiedEntries() int {
 	n := 0
-	for s := range a.table {
-		for w := range a.table[s] {
-			if a.table[s][w].valid {
-				n++
-			}
+	for i := range a.table {
+		if a.table[i].valid {
+			n++
 		}
 	}
 	return n

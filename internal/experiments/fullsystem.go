@@ -16,12 +16,16 @@ var fullsysDegrees = []int{0, 2, 4, 8, 16}
 // CaptureTrace runs a workload precisely under the phase-1 simulator and
 // records its 4-thread access trace for phase-2 replay, mirroring the
 // paper's methodology (approximation is applied during replay, where the
-// paper notes instruction streams vary by at most ~2.4%).
+// paper notes instruction streams vary by at most ~2.4%). The capture
+// buffer is preallocated from the access count of a precise run — served
+// by the run cache, so it costs at most one extra simulation process-wide
+// and is free whenever the figures needed the precise point anyway.
 func CaptureTrace(w workloads.Workload, seed uint64) *trace.Trace {
+	n := RunPrecise(w, seed).Sim
 	cfg := memsim.DefaultConfig()
 	cfg.Attach = memsim.AttachNone
 	sim := memsim.New(cfg)
-	sim.Capture(w.Name())
+	sim.CaptureSized(w.Name(), int(n.Loads+n.Stores))
 	w.Run(sim, seed)
 	return sim.TakeTrace()
 }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// -update regenerates testdata/figure_hashes.json from the current code.
+// Run it only when a change is *meant* to alter simulation output; the
+// committed file is the byte-level contract every hot-path refactor must
+// preserve.
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure hashes")
+
+const goldenPath = "testdata/figure_hashes.json"
+
+// figureHashes renders every registry experiment and hashes its bytes.
+func figureHashes(t *testing.T) map[string]string {
+	t.Helper()
+	figs, err := RunAll()
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := make(map[string]string, len(figs))
+	for _, f := range figs {
+		sum := sha256.Sum256([]byte(f.String()))
+		out[f.ID] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// TestFigureGoldenHashes pins the SHA-256 of every rendered figure so a
+// hot-path refactor that silently changes simulation output fails tier-1
+// tests instead of slipping through review. Figures render deterministically
+// (fixed seeds, ordered rows, %.3f cells), so the hashes are stable across
+// machines and parallelism levels.
+func TestFigureGoldenHashes(t *testing.T) {
+	got := figureHashes(t)
+
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden: wrote %d figure hashes to %s", len(ordered), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden: reading %s (regenerate with -update): %v", goldenPath, err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden: parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden: %d figures rendered, %d hashes on file (run -update after adding/removing experiments)", len(got), len(want))
+	}
+	for id, h := range got {
+		w, ok := want[id]
+		if !ok {
+			t.Errorf("golden: experiment %q has no recorded hash (run -update if it is new)", id)
+			continue
+		}
+		if h != w {
+			t.Errorf("golden: figure %q bytes changed: hash %s, want %s — simulation output is not byte-identical", id, h, w)
+		}
+	}
+}

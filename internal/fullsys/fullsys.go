@@ -274,6 +274,16 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 			cores[i].approx = core.New(*s.cfg.Approx)
 		}
 	}
+	// Count each core's share first so the per-core queues are allocated
+	// exactly once instead of growing through repeated copies of
+	// multi-million-access traces.
+	counts := make([]int, s.cfg.Cores)
+	for i := range tr.Accesses {
+		counts[int(tr.Accesses[i].Thread)%s.cfg.Cores]++
+	}
+	for i, c := range cores {
+		c.accs = make([]trace.Access, 0, counts[i])
+	}
 	for _, a := range tr.Accesses {
 		c := cores[int(a.Thread)%s.cfg.Cores]
 		c.accs = append(c.accs, a)

@@ -77,6 +77,7 @@ func Analyzers() []*Analyzer {
 		loopcaptureAnalyzer,
 		detfloatAnalyzer,
 		obshooksAnalyzer,
+		hotpathAnalyzer,
 	}
 }
 

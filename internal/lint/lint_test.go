@@ -98,6 +98,8 @@ func TestFixtures(t *testing.T) {
 		{"detfloat_good", "detfloat", false},
 		{"obshooks_bad", "obshooks", true},
 		{"obshooks_good", "obshooks", false},
+		{"hotpath_bad", "hotpath", true},
+		{"hotpath_good", "hotpath", false},
 	}
 	l := testLoader(t)
 	for _, tc := range cases {

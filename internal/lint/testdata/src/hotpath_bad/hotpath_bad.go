@@ -1,0 +1,47 @@
+// Package hotpath_bad exercises the hotpath analyzer's failure cases:
+// interface parameters, fmt calls and interface conversions inside
+// functions whose names mark them as per-load machinery.
+package hotpath_bad
+
+import "fmt"
+
+// Memory stands in for the simulator's workload-facing interface.
+type Memory interface {
+	LoadFloat(pc, addr uint64, precise float64, approx bool) float64
+}
+
+// Stringer is a second interface to exercise conversion targets.
+type Stringer interface{ String() string }
+
+type sim struct{ loads uint64 }
+
+func (s *sim) LoadFloat(pc, addr uint64, precise float64, approx bool) float64 {
+	s.loads++
+	return precise
+}
+
+// Load takes the interface where a concrete *sim is required.
+func Load(m Memory, addr uint64) float64 { // want:hotpath
+	return m.LoadFloat(0, addr, 1, false)
+}
+
+// recordAccess formats on the per-access path.
+func recordAccess(pc uint64) string {
+	return fmt.Sprintf("pc=%x", pc) // want:hotpath
+}
+
+// onMiss boxes its operand into the empty interface explicitly.
+func onMiss(v float64) any {
+	return any(v) // want:hotpath
+}
+
+// fillBlock converts a concrete value to a named interface type.
+func fillBlock(s *sim) Memory {
+	return Memory(s) // want:hotpath
+}
+
+// trainEntry hits several rules at once: an interface parameter and a
+// fmt call in the body.
+func trainEntry(m Memory) { // want:hotpath
+	fmt.Println(m.LoadFloat(0, 0, 0, false)) // want:hotpath
+}

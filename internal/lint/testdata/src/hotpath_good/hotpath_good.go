@@ -1,0 +1,52 @@
+// Package hotpath_good holds code the hotpath analyzer must accept:
+// concrete-typed hot functions, and interface use or formatting confined
+// to functions outside the per-load vocabulary.
+package hotpath_good
+
+import "fmt"
+
+// Memory mirrors the simulator's workload-facing interface.
+type Memory interface {
+	LoadFloat(pc, addr uint64, precise float64, approx bool) float64
+}
+
+type sim struct{ loads uint64 }
+
+func (s *sim) LoadFloat(pc, addr uint64, precise float64, approx bool) float64 {
+	s.loads++
+	return precise
+}
+
+// Load is hot but fully concrete: fine.
+func Load(s *sim, addr uint64) float64 {
+	return s.LoadFloat(0, addr, 1, false)
+}
+
+// probeSet is hot and calls only concrete inlinable helpers.
+func probeSet(tags []uint64, key uint64) int {
+	for i := range tags {
+		if tags[i] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Describe takes the interface and formats — but it is not per-load
+// machinery, so both are allowed.
+func Describe(m Memory) string {
+	return fmt.Sprintf("%T", m)
+}
+
+// AsMemory converts to the interface on a cold construction path.
+func AsMemory(s *sim) Memory {
+	return s // implicit conversion via return is the allowed seam
+}
+
+// validate is a cold path that may format errors freely.
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}

@@ -122,8 +122,11 @@ func (r Result) Coverage() float64 {
 	return float64(r.Covered) / float64(r.LoadMisses)
 }
 
-// Simulator implements Memory. Not safe for concurrent use.
-type Simulator struct {
+// Sim is the concrete phase-1 simulator. Workload kernels call its methods
+// directly (devirtualized hot path); it also implements Memory for callers
+// that need the interface seam (the ISA VM, tests, external wrappers). Not
+// safe for concurrent use.
+type Sim struct {
 	cfg      Config
 	l1       *cache.Cache
 	approx   *core.Approximator
@@ -132,10 +135,16 @@ type Simulator struct {
 	insts    uint64
 	loads    uint64
 	stores   uint64
-	misses   uint64
+	loadMiss uint64
+	storMiss uint64
 	covered  uint64
 	fetches  uint64
-	approxPC map[uint64]struct{}
+	approxPC pcSet
+	// lastApproxPC short-circuits the approxPC map insert: kernels issue
+	// millions of approximate loads from a handful of sites, usually the
+	// same PC back to back, and the map hash dominated the load path.
+	lastApproxPC uint64
+	lastPCValid  bool
 
 	// om is non-nil only when obs metrics were enabled at construction;
 	// the load-hit fast path never touches it.
@@ -145,16 +154,21 @@ type Simulator struct {
 	lastEnd []uint64     // per-thread instruction count at last recorded access
 }
 
+// Simulator is kept as an alias for existing callers; new code should use
+// the shorter concrete name.
+type Simulator = Sim
+
+var _ Memory = (*Sim)(nil)
+
 // New builds a simulator; it panics on an invalid Config since
 // configurations are fixed experiment parameters.
-func New(cfg Config) *Simulator {
+func New(cfg Config) *Sim {
 	if err := cfg.L1.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Simulator{
-		cfg:      cfg,
-		l1:       cache.New(cfg.L1),
-		approxPC: make(map[uint64]struct{}),
+	s := &Sim{
+		cfg: cfg,
+		l1:  cache.New(cfg.L1),
 	}
 	if obs.Enabled() {
 		s.om = sharedSimMetrics()
@@ -181,19 +195,26 @@ func New(cfg Config) *Simulator {
 
 // Capture directs the simulator to record every access into a trace with
 // the given name. Call before running the workload.
-func (s *Simulator) Capture(name string) {
-	s.rec = &trace.Trace{Name: name}
+func (s *Sim) Capture(name string) { s.CaptureSized(name, 0) }
+
+// CaptureSized is Capture with a capacity hint: accesses is the expected
+// number of loads+stores, known exactly when a precise run of the same
+// workload has already been simulated (the run cache makes that free).
+// Preallocating avoids regrowing the trace slice through dozens of copies
+// during multi-million-access captures.
+func (s *Sim) CaptureSized(name string, accesses int) {
+	s.rec = trace.NewSized(name, accesses)
 	s.lastEnd = make([]uint64, 256)
 }
 
 // TakeTrace returns the captured trace (nil if Capture was not called).
-func (s *Simulator) TakeTrace() *trace.Trace { return s.rec }
+func (s *Sim) TakeTrace() *trace.Trace { return s.rec }
 
 // SetThread implements Memory. It panics if t is outside [0,255], the
 // range the trace encoding's uint8 thread field can represent: thread ids
 // come from fixed workload topology, so an illegal one is a programming
 // error.
-func (s *Simulator) SetThread(t int) {
+func (s *Sim) SetThread(t int) {
 	if t < 0 || t > 255 {
 		panic(fmt.Sprintf("memsim: thread id %d out of range [0,255]", t))
 	}
@@ -201,12 +222,12 @@ func (s *Simulator) SetThread(t int) {
 }
 
 // Tick implements Memory.
-func (s *Simulator) Tick(n uint64) { s.insts += n }
+func (s *Sim) Tick(n uint64) { s.insts += n }
 
-func (s *Simulator) record(pc, addr uint64, v value.Value, op trace.Op, approx bool) {
-	if s.rec == nil {
-		return
-	}
+// record appends one access to the capture trace. Callers check s.rec for
+// nil first so non-capturing runs (all of phase 1's figures) pay a single
+// inlined nil test instead of a function call per access.
+func (s *Sim) record(pc, addr uint64, v value.Value, op trace.Op, approx bool) {
 	gap := s.insts - s.lastEnd[s.thread]
 	if gap > 1<<30 {
 		gap = 1 << 30
@@ -220,21 +241,29 @@ func (s *Simulator) record(pc, addr uint64, v value.Value, op trace.Op, approx b
 }
 
 // load is the common load path; returns the (possibly clobbered) value.
-func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) value.Value {
-	s.record(pc, addr, precise, trace.Load, approx)
+func (s *Sim) load(pc, addr uint64, precise value.Value, approx bool) value.Value {
+	if s.rec != nil {
+		s.record(pc, addr, precise, trace.Load, approx)
+	}
 	s.insts++
-	s.loads++
 	if s.approx != nil {
 		s.approx.OnLoad() // advance value-delay countdowns on every load
 	}
-	if approx {
-		s.approxPC[pc] = struct{}{}
+	if approx && (!s.lastPCValid || pc != s.lastApproxPC) {
+		s.approxPC.add(pc)
+		s.lastApproxPC, s.lastPCValid = pc, true
 	}
 
-	if s.l1.Load(addr) {
+	// Probe/Touch instead of l1.Load: both inline, so the hit path — the
+	// overwhelmingly common case — runs without a single cache-package
+	// call frame. Demand counters live here and are merged into the cache
+	// stats by Result.
+	s.loads++
+	if idx := s.l1.Probe(addr); idx >= 0 {
+		s.l1.Touch(idx)
 		return precise
 	}
-	s.misses++
+	s.loadMiss++
 	if m := s.om; m != nil {
 		m.misses.Inc()
 	}
@@ -243,7 +272,7 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 		d := s.approx.OnMiss(pc, precise)
 		if d.Fetch {
 			s.fetches++
-			s.l1.Fill(addr, false)
+			s.l1.FillAbsent(addr, false)
 			if m := s.om; m != nil {
 				m.fetches.Inc()
 			}
@@ -267,12 +296,12 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 	// Precise miss path: demand fetch, plus prefetches if attached.
 	before := s.fetches
 	s.fetches++
-	s.l1.Fill(addr, false)
+	s.l1.FillAbsent(addr, false)
 	if s.pref != nil {
 		for _, t := range s.pref.OnMiss(pc, s.l1.BlockAddr(addr)) {
 			if !s.l1.Contains(t) {
 				s.fetches++
-				s.l1.Fill(t, true)
+				s.l1.FillAbsent(t, true)
 			}
 		}
 	}
@@ -285,47 +314,58 @@ func (s *Simulator) load(pc, addr uint64, precise value.Value, approx bool) valu
 }
 
 // LoadFloat implements Memory.
-func (s *Simulator) LoadFloat(pc, addr uint64, precise float64, approx bool) float64 {
+func (s *Sim) LoadFloat(pc, addr uint64, precise float64, approx bool) float64 {
 	return s.load(pc, addr, value.FromFloat(precise), approx).Float()
 }
 
 // LoadInt implements Memory.
-func (s *Simulator) LoadInt(pc, addr uint64, precise int64, approx bool) int64 {
+func (s *Sim) LoadInt(pc, addr uint64, precise int64, approx bool) int64 {
 	return s.load(pc, addr, value.FromInt(precise), approx).Int()
 }
 
 // Store implements Memory. Stores are never approximated; misses
 // write-allocate.
-func (s *Simulator) Store(pc, addr uint64) {
-	s.record(pc, addr, value.Value{}, trace.Store, false)
+func (s *Sim) Store(pc, addr uint64) {
+	if s.rec != nil {
+		s.record(pc, addr, value.Value{}, trace.Store, false)
+	}
 	s.insts++
 	s.stores++
-	if !s.l1.Store(addr) {
-		s.fetches++
-		s.l1.Fill(addr, false)
-		s.l1.MarkDirty(addr)
-		if m := s.om; m != nil {
-			m.fetches.Inc()
-		}
-	} else {
-		s.l1.MarkDirty(addr)
+	if idx := s.l1.Probe(addr); idx >= 0 {
+		s.l1.TouchStore(idx)
+		return
+	}
+	s.storMiss++
+	s.fetches++
+	s.l1.FillAbsent(addr, false)
+	s.l1.MarkDirty(addr)
+	if m := s.om; m != nil {
+		m.fetches.Inc()
 	}
 }
 
 // Result finalizes (drains pending trainings) and returns the metrics.
-func (s *Simulator) Result() Result {
+func (s *Sim) Result() Result {
 	if s.approx != nil {
 		s.approx.Drain()
 	}
+	// The hot path bypasses cache.Load/Store (see load), so the demand
+	// counters live on the Sim; fold them into the cache's fill/eviction
+	// stats to present the usual combined view.
+	cs := s.l1.Stats()
+	cs.Loads += s.loads
+	cs.Stores += s.stores
+	cs.LoadMiss += s.loadMiss
+	cs.StoreMiss += s.storMiss
 	r := Result{
 		Instructions: s.insts,
-		Loads:        s.loads,
-		Stores:       s.stores,
-		LoadMisses:   s.misses,
+		Loads:        cs.Loads,
+		Stores:       cs.Stores,
+		LoadMisses:   cs.LoadMiss,
 		Covered:      s.covered,
 		Fetches:      s.fetches,
-		StaticPCs:    len(s.approxPC),
-		Cache:        s.l1.Stats(),
+		StaticPCs:    s.approxPC.len(),
+		Cache:        cs,
 	}
 	if s.approx != nil {
 		r.Approx = s.approx.Stats()

@@ -1,0 +1,66 @@
+package memsim
+
+// pcSet is a small open-addressed hash set of load PCs, replacing a Go map
+// on the per-approximate-load path: kernels cycle through a handful of
+// static sites millions of times, so membership is almost always a one-slot
+// lookup, and the runtime map's hashing dominated the load fast path.
+// Zero is the empty-slot sentinel; PC 0 is tracked separately.
+type pcSet struct {
+	tab  []uint64
+	n    int
+	zero bool
+}
+
+const pcSetInitial = 256 // power of two, comfortably above Figure 12's max static PC count
+
+func (p *pcSet) slot(pc uint64) uint64 {
+	// Fibonacci hashing: synthetic PCs differ only in a few low bits.
+	return (pc * 0x9E3779B97F4A7C15) >> 32 & uint64(len(p.tab)-1)
+}
+
+// add inserts pc, growing at 3/4 occupancy so probes stay short.
+func (p *pcSet) add(pc uint64) {
+	if pc == 0 {
+		if !p.zero {
+			p.zero = true
+			p.n++
+		}
+		return
+	}
+	if p.tab == nil {
+		p.tab = make([]uint64, pcSetInitial)
+	}
+	mask := uint64(len(p.tab) - 1)
+	for i := p.slot(pc); ; i = (i + 1) & mask {
+		switch p.tab[i] {
+		case pc:
+			return
+		case 0:
+			p.tab[i] = pc
+			p.n++
+			if (p.n-1)*4 >= len(p.tab)*3 {
+				p.grow()
+			}
+			return
+		}
+	}
+}
+
+func (p *pcSet) grow() {
+	old := p.tab
+	p.tab = make([]uint64, 2*len(old))
+	mask := uint64(len(p.tab) - 1)
+	for _, pc := range old {
+		if pc == 0 {
+			continue
+		}
+		i := p.slot(pc)
+		for p.tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		p.tab[i] = pc
+	}
+}
+
+// len returns the number of distinct PCs inserted.
+func (p *pcSet) len() int { return p.n }

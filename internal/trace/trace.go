@@ -55,6 +55,18 @@ type Trace struct {
 	Accesses []Access
 }
 
+// NewSized returns an empty trace whose Accesses slice is preallocated for
+// n records, so capture paths that know the access count up front (from a
+// prior precise run of the same workload) never regrow the slice. n <= 0
+// yields an ordinary empty trace.
+func NewSized(name string, n int) *Trace {
+	t := &Trace{Name: name}
+	if n > 0 {
+		t.Accesses = make([]Access, 0, n)
+	}
+	return t
+}
+
 // Append adds an access.
 func (t *Trace) Append(a Access) { t.Accesses = append(t.Accesses, a) }
 

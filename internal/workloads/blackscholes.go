@@ -103,7 +103,7 @@ const (
 )
 
 // Run implements Workload.
-func (b *Blackscholes) Run(mem memsim.Memory, seed uint64) Output {
+func (b *Blackscholes) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 
@@ -154,16 +154,22 @@ func (b *Blackscholes) Run(mem memsim.Memory, seed uint64) Output {
 	}
 
 	threads := 4
+	// The per-option input read is a structure-of-arrays gather: one load
+	// per input array, distinct site each, same index.
+	inputs := []*F64Array{spot, strike, rate, vol, tim}
+	inputPCs := []uint64{
+		pcBase(idBlackscholes, bsSiteSpot),
+		pcBase(idBlackscholes, bsSiteStrike),
+		pcBase(idBlackscholes, bsSiteRate),
+		pcBase(idBlackscholes, bsSiteVol),
+		pcBase(idBlackscholes, bsSiteTime),
+	}
+	var in [bsSiteCount]float64
 	for pass := 0; pass < b.Passes; pass++ {
 		for i := 0; i < b.N; i++ {
 			mem.SetThread(i * threads / b.N)
-			pc := func(site int) uint64 { return pcBase(idBlackscholes, site) }
-			s := spot.Load(mem, pc(bsSiteSpot), i, true)
-			k := strike.Load(mem, pc(bsSiteStrike), i, true)
-			r := rate.Load(mem, pc(bsSiteRate), i, true)
-			v := vol.Load(mem, pc(bsSiteVol), i, true)
-			t := tim.Load(mem, pc(bsSiteTime), i, true)
-			price := blackScholes(s, k, r, v, t, isCall[i])
+			GatherF64(mem, inputs, inputPCs, i, true, in[:])
+			price := blackScholes(in[0], in[1], in[2], in[3], in[4], isCall[i])
 			mem.Tick(uint64(b.TickPerOption))
 			prices.Store(mem, pcBase(idBlackscholes, bsSiteCount), i, price)
 		}

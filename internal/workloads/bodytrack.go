@@ -132,7 +132,7 @@ func SynthFrame(rng *RNG, w, h, cam, frame int) []int32 {
 const expectedIntensity = 200
 
 // Run implements Workload.
-func (b *Bodytrack) Run(mem memsim.Memory, seed uint64) Output {
+func (b *Bodytrack) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 	w, h := b.Width, b.Height

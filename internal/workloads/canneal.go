@@ -64,7 +64,7 @@ const (
 )
 
 // Run implements Workload.
-func (c *Canneal) Run(mem memsim.Memory, seed uint64) Output {
+func (c *Canneal) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 	n := c.Blocks
@@ -85,15 +85,34 @@ func (c *Canneal) Run(mem memsim.Memory, seed uint64) Output {
 		ys.Data[i] = p / int32(c.GridSide)
 	}
 
-	// Netlist: fanin[b] lists the blocks driving b; fanout is derived.
-	fanin := make([][]int32, n)
-	fanout := make([][]int32, n)
+	// Netlist in CSR form. fanin[b] is the fixed-width row b of `srcs`;
+	// fanout (the inverse adjacency, variable degree) is offsets+array.
+	// The original slice-of-slices build was one make per block plus
+	// append growth per edge — over 90% of the whole Table 1 allocation
+	// count. The RNG is drawn in the same block-major, slot-minor order,
+	// and the counting sort fills each fanout list in the same ascending-b
+	// order the appends produced, so the netlist is identical bit for bit.
+	srcs := make([]int32, n*c.FanIn)
 	for b := 0; b < n; b++ {
-		fanin[b] = make([]int32, c.FanIn)
 		for k := 0; k < c.FanIn; k++ {
-			src := int32(rng.Intn(n))
-			fanin[b][k] = src
-			fanout[src] = append(fanout[src], int32(b))
+			srcs[b*c.FanIn+k] = int32(rng.Intn(n))
+		}
+	}
+	foOff := make([]int32, n+1)
+	for _, src := range srcs {
+		foOff[src+1]++
+	}
+	for b := 0; b < n; b++ {
+		foOff[b+1] += foOff[b]
+	}
+	fanout := make([]int32, len(srcs))
+	next := make([]int32, n)
+	copy(next, foOff[:n])
+	for b := 0; b < n; b++ {
+		for k := 0; k < c.FanIn; k++ {
+			src := srcs[b*c.FanIn+k]
+			fanout[next[src]] = int32(b)
+			next[src]++
 		}
 	}
 
@@ -102,12 +121,12 @@ func (c *Canneal) Run(mem memsim.Memory, seed uint64) Output {
 	// are the annotated approximate loads.
 	cost := func(b int, bx, by int32) int64 {
 		var total int64
-		for _, nb := range fanin[b] {
+		for _, nb := range srcs[b*c.FanIn : (b+1)*c.FanIn] {
 			nx := xs.Load(mem, pcBase(idCanneal, cnSiteFaninX), int(nb), true)
 			ny := ys.Load(mem, pcBase(idCanneal, cnSiteFaninY), int(nb), true)
 			total += int64(absI32(bx-nx)) + int64(absI32(by-ny))
 		}
-		for _, nb := range fanout[b] {
+		for _, nb := range fanout[foOff[b]:foOff[b+1]] {
 			nx := xs.Load(mem, pcBase(idCanneal, cnSiteFanoutX), int(nb), true)
 			ny := ys.Load(mem, pcBase(idCanneal, cnSiteFanoutY), int(nb), true)
 			total += int64(absI32(bx-nx)) + int64(absI32(by-ny))
@@ -149,7 +168,7 @@ func (c *Canneal) Run(mem memsim.Memory, seed uint64) Output {
 	// (precise) placement data.
 	var total int64
 	for b := 0; b < n; b++ {
-		for _, nb := range fanin[b] {
+		for _, nb := range srcs[b*c.FanIn : (b+1)*c.FanIn] {
 			total += int64(absI32(xs.Data[b]-xs.Data[nb])) + int64(absI32(ys.Data[b]-ys.Data[nb]))
 		}
 	}

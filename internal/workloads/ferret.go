@@ -85,7 +85,7 @@ func (o FerretOutput) Error(precise Output) float64 {
 }
 
 // Run implements Workload.
-func (f *Ferret) Run(mem memsim.Memory, seed uint64) Output {
+func (f *Ferret) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 

@@ -78,7 +78,7 @@ const (
 var faceCells = [7][3]int{{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
 
 // Run implements Workload.
-func (f *Fluidanimate) Run(mem memsim.Memory, seed uint64) Output {
+func (f *Fluidanimate) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 	n := f.Particles
@@ -108,6 +108,21 @@ func (f *Fluidanimate) Run(mem memsim.Memory, seed uint64) Output {
 		cz := clampIdx(int(z*float64(cells)), cells)
 		return (cz*cells+cy)*cells + cx
 	}
+
+	// Neighbour positions are read as an x/y/z gather: one load per
+	// coordinate array, distinct site each, same particle index.
+	pos := []*F64Array{px, py, pz}
+	densPCs := []uint64{
+		pcBase(idFluidanimate, flSiteDensX),
+		pcBase(idFluidanimate, flSiteDensY),
+		pcBase(idFluidanimate, flSiteDensZ),
+	}
+	forcePCs := []uint64{
+		pcBase(idFluidanimate, flSiteForceX),
+		pcBase(idFluidanimate, flSiteForceY),
+		pcBase(idFluidanimate, flSiteForceZ),
+	}
+	var nbr [3]float64
 
 	// orig maps the current array slot back to the original particle id;
 	// PARSEC fluidanimate re-sorts particles into cell order every step to
@@ -162,10 +177,8 @@ func (f *Fluidanimate) Run(mem memsim.Memory, seed uint64) Output {
 					if int(j) == i {
 						continue
 					}
-					jx := px.Load(mem, pcBase(idFluidanimate, flSiteDensX), int(j), true)
-					jy := py.Load(mem, pcBase(idFluidanimate, flSiteDensY), int(j), true)
-					jz := pz.Load(mem, pcBase(idFluidanimate, flSiteDensZ), int(j), true)
-					r2 := sq(xi-jx) + sq(yi-jy) + sq(zi-jz)
+					GatherF64(mem, pos, densPCs, int(j), true, nbr[:])
+					r2 := sq(xi-nbr[0]) + sq(yi-nbr[1]) + sq(zi-nbr[2])
 					if r2 < h2 {
 						t := (h2 - r2) / h2
 						d += t * t * t
@@ -197,9 +210,8 @@ func (f *Fluidanimate) Run(mem memsim.Memory, seed uint64) Output {
 					if int(j) == i {
 						continue
 					}
-					jx := px.Load(mem, pcBase(idFluidanimate, flSiteForceX), int(j), true)
-					jy := py.Load(mem, pcBase(idFluidanimate, flSiteForceY), int(j), true)
-					jz := pz.Load(mem, pcBase(idFluidanimate, flSiteForceZ), int(j), true)
+					GatherF64(mem, pos, forcePCs, int(j), true, nbr[:])
+					jx, jy, jz := nbr[0], nbr[1], nbr[2]
 					r2 := sq(xi-jx) + sq(yi-jy) + sq(zi-jz)
 					if r2 < h2 && r2 > 1e-10 {
 						dj := dens.Load(mem, pcBase(idFluidanimate, flSiteForceDens), int(j), true)

@@ -69,7 +69,7 @@ const (
 )
 
 // Run implements Workload.
-func (s *Swaptions) Run(mem memsim.Memory, seed uint64) Output {
+func (s *Swaptions) Run(mem *memsim.Sim, seed uint64) Output {
 	rng := NewRNG(seed)
 	arena := NewArena()
 

@@ -23,10 +23,13 @@ type Workload interface {
 	// (blackscholes, ferret, fluidanimate, swaptions) or integer
 	// (bodytrack, canneal, x264), per §V-A.
 	FloatData() bool
-	// Run executes the kernel, issuing accesses through mem. The seed
-	// makes inputs deterministic so precise and approximate runs see the
-	// same program. It returns the application's final output.
-	Run(mem memsim.Memory, seed uint64) Output
+	// Run executes the kernel, issuing accesses through the concrete
+	// phase-1 simulator — kernels are the hot loop of every figure, so
+	// they bypass the Memory interface entirely (trace capture lives
+	// inside Sim and still sees every access). The seed makes inputs
+	// deterministic so precise and approximate runs see the same
+	// program. It returns the application's final output.
+	Run(mem *memsim.Sim, seed uint64) Output
 }
 
 // Output is a kernel's final application output. Error is the paper's
@@ -153,14 +156,26 @@ func NewF64Array(a *Arena, n int) *F64Array {
 func (f *F64Array) Addr(i int) uint64 { return f.Base + uint64(i)*8 }
 
 // Load reads element i through the simulated hierarchy.
-func (f *F64Array) Load(m memsim.Memory, pc uint64, i int, approx bool) float64 {
+func (f *F64Array) Load(m *memsim.Sim, pc uint64, i int, approx bool) float64 {
 	return m.LoadFloat(pc, f.Addr(i), f.Data[i], approx)
 }
 
 // Store writes element i through the simulated hierarchy.
-func (f *F64Array) Store(m memsim.Memory, pc uint64, i int, v float64) {
+func (f *F64Array) Store(m *memsim.Sim, pc uint64, i int, v float64) {
 	f.Data[i] = v
 	m.Store(pc, f.Addr(i))
+}
+
+// LoadRange reads elements [lo,hi) in ascending order into dst, all from
+// the same load site. It issues exactly the accesses of the equivalent
+// scalar loop (same PCs, addresses, values, order); batching only amortizes
+// per-element accessor overhead. dst must have at least hi-lo elements.
+func (f *F64Array) LoadRange(m *memsim.Sim, pc uint64, lo, hi int, approx bool, dst []float64) {
+	addr := f.Addr(lo)
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = m.LoadFloat(pc, addr, f.Data[i], approx)
+		addr += 8
+	}
 }
 
 // I32Array is a 32-bit integer array (4-byte elements, matching pixel and
@@ -179,15 +194,59 @@ func NewI32Array(a *Arena, n int) *I32Array {
 func (f *I32Array) Addr(i int) uint64 { return f.Base + uint64(i)*4 }
 
 // Load reads element i through the simulated hierarchy.
-func (f *I32Array) Load(m memsim.Memory, pc uint64, i int, approx bool) int32 {
+func (f *I32Array) Load(m *memsim.Sim, pc uint64, i int, approx bool) int32 {
 	v := m.LoadInt(pc, f.Addr(i), int64(f.Data[i]), approx)
 	return int32(v)
 }
 
 // Store writes element i through the simulated hierarchy.
-func (f *I32Array) Store(m memsim.Memory, pc uint64, i int, v int32) {
+func (f *I32Array) Store(m *memsim.Sim, pc uint64, i int, v int32) {
 	f.Data[i] = v
 	m.Store(pc, f.Addr(i))
+}
+
+// LoadRange reads elements [lo,hi) in ascending order into dst, all from
+// the same load site; access-for-access identical to the scalar loop.
+func (f *I32Array) LoadRange(m *memsim.Sim, pc uint64, lo, hi int, approx bool, dst []int32) {
+	addr := f.Addr(lo)
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = int32(m.LoadInt(pc, addr, int64(f.Data[i]), approx))
+		addr += 4
+	}
+}
+
+// LoadRow reads the n elements starting at lo in ascending order into dst,
+// with the load site cycling through pcs (dst[k] uses pcs[k%len(pcs)]) —
+// the access pattern of an unrolled pixel row, where each unroll position
+// is its own static PC. Identical to the scalar loop it replaces.
+func (f *I32Array) LoadRow(m *memsim.Sim, pcs []uint64, lo, n int, approx bool, dst []int32) {
+	addr := f.Addr(lo)
+	for k := 0; k < n; k++ {
+		dst[k] = int32(m.LoadInt(pcs[k%len(pcs)], addr, int64(f.Data[lo+k]), approx))
+		addr += 4
+	}
+}
+
+// StoreRange writes src to elements [lo,lo+len(src)) in ascending order,
+// all from the same store site — the streaming publish loop of a producer
+// kernel. Identical to the scalar loop it replaces.
+func (f *I32Array) StoreRange(m *memsim.Sim, pc uint64, lo int, src []int32) {
+	addr := f.Addr(lo)
+	for k, v := range src {
+		f.Data[lo+k] = v
+		m.Store(pc, addr)
+		addr += 4
+	}
+}
+
+// GatherF64 reads element i of each array in turn (arrays[k] from site
+// pcs[k]), writing the consumed values to dst — the structure-of-arrays
+// gather at the top of a streaming iteration (spot/strike/rate/... or
+// x/y/z). Identical to the scalar sequence it replaces.
+func GatherF64(m *memsim.Sim, arrays []*F64Array, pcs []uint64, i int, approx bool, dst []float64) {
+	for k, a := range arrays {
+		dst[k] = m.LoadFloat(pcs[k], a.Addr(i), a.Data[i], approx)
+	}
 }
 
 // pcBase builds a synthetic program counter: one per (workload, site).

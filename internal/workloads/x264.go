@@ -93,12 +93,21 @@ func synthPixel(rng *RNG, xx, yy, frame int) int32 {
 }
 
 // Run implements Workload.
-func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
+func (x *X264) Run(mem *memsim.Sim, seed uint64) Output {
 	arena := NewArena()
 	w, h, mb := x.Width, x.Height, x.MBSize
 
 	// Reconstructed reference frame (written by the encoder loop).
 	recon := NewI32Array(arena, w*h)
+
+	// Reused scratch: one SAD row of reference pixels, the intra
+	// neighbour rows, and the extracted current macroblock. Hoisted out
+	// of the per-candidate/per-macroblock paths, which dominated the
+	// kernel's allocation count.
+	rowBuf := make([]int32, mb)
+	intraTop := make([]int32, mb)
+	intraLeft := make([]int32, mb)
+	cur := make([]int32, mb*mb)
 
 	// sad computes the (row-subsampled) sum of absolute differences
 	// between the current macroblock and the reference at (rx, ry).
@@ -112,16 +121,27 @@ func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
 			if yy < 0 || yy >= h {
 				return math.MaxInt32 // out of frame: reject candidate
 			}
+			// Distinct PC per SAD row and per column-unroll position,
+			// mirroring x264's unrolled pixel loops.
+			rowPCs := [4]uint64{
+				pcBase(idX264, 16+r*4), pcBase(idX264, 16+r*4+1),
+				pcBase(idX264, 16+r*4+2), pcBase(idX264, 16+r*4+3),
+			}
+			// The scalar loop loaded pixels left to right until it ran off
+			// the frame edge, then rejected the candidate; reproduce that
+			// exact load prefix before rejecting.
+			n := mb
+			if rx < 0 {
+				n = 0
+			} else if w-rx < mb {
+				n = max(w-rx, 0)
+			}
+			recon.LoadRow(mem, rowPCs[:], yy*w+rx, n, true, rowBuf)
+			if n < mb {
+				return math.MaxInt32
+			}
 			for cx := 0; cx < mb; cx++ {
-				xx := rx + cx
-				if xx < 0 || xx >= w {
-					return math.MaxInt32
-				}
-				// Distinct PC per SAD row and per column-unroll position,
-				// mirroring x264's unrolled pixel loops.
-				site := 16 + r*4 + cx%4
-				rv := recon.Load(mem, pcBase(idX264, site), yy*w+xx, true)
-				d := cur[r*mb+cx] - rv
+				d := cur[r*mb+cx] - rowBuf[cx]
 				if d < 0 {
 					d = -d
 				}
@@ -169,8 +189,7 @@ func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
 		if mx == 0 || my == 0 {
 			return math.MaxInt32
 		}
-		top := make([]int32, mb)
-		left := make([]int32, mb)
+		top, left := intraTop, intraLeft
 		var dcSum int64
 		for i := 0; i < mb; i++ {
 			top[i] = recon.Load(mem, pcBase(idX264, 128+i%4), (my-1)*w+mx+i, true)
@@ -229,7 +248,6 @@ func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
 
 			// Extract the current macroblock (current-frame pixels are
 			// produced by the capture pipeline; treated as local).
-			cur := make([]int32, mb*mb)
 			for r := 0; r < mb; r++ {
 				copy(cur[r*mb:(r+1)*mb], curFrame[(my+r)*w+mx:(my+r)*w+mx+mb])
 			}
@@ -311,9 +329,7 @@ func (x *X264) Run(mem memsim.Memory, seed uint64) Output {
 
 		// Publish the reconstruction as the next reference frame (encoder
 		// writes it back through the hierarchy).
-		for i, v := range newRecon {
-			recon.Store(mem, pcBase(idX264, 60), i, v)
-		}
+		recon.StoreRange(mem, pcBase(idX264, 60), 0, newRecon)
 		mse := sse / float64(w*h)
 		if mse < 1e-9 {
 			mse = 1e-9
