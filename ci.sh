@@ -10,13 +10,14 @@
 #
 # `./ci.sh bench [-baseline FILE]` instead runs the benchmark suite once
 # (-benchtime=1x), writes the machine-readable go-test event stream to
-# BENCH_<stamp>.json, and regenerates every figure with `lvaexp -metrics`
-# so the deterministic metrics snapshot (METRICS_<stamp>.json) is archived
-# next to it. With -baseline it then compares the fresh snapshot against
-# FILE via cmd/benchdiff and FAILS on a >15% wall-time regression in any
-# benchmark slower than 1 ms — the local perf gate. CI runs the same
-# compare with BENCHDIFF_FLAGS=-warn-only because shared runners are too
-# noisy to block on.
+# BENCH_<stamp>.json, and regenerates every figure with `lvaexp -metrics
+# -timeline` so the deterministic metrics snapshot (METRICS_<stamp>.json)
+# and the Perfetto-loadable run timeline (TIMELINE_<stamp>.json) are
+# archived next to it. With -baseline it then compares the fresh snapshot
+# against FILE via cmd/benchdiff and FAILS on a >15% wall-time regression
+# in any benchmark slower than 1 ms — the perf gate. CI runs this
+# blocking; set BENCHDIFF_FLAGS=-warn-only to demote the compare to
+# advisory (the manual escape hatch for noisy machines).
 #
 # `./ci.sh overhead` checks the observability layer's cost: it runs the
 # hot-path micro-benchmarks with the obs registry disabled and enabled and
@@ -46,11 +47,13 @@ if [[ "${1:-}" == "bench" ]]; then
     go test -json -run '^$' -bench . -benchtime=1x -benchmem ./... > "${out}"
     echo "ci.sh: benchmark snapshot written to ${out}"
     metrics="METRICS_${stamp}.json"
-    echo "==> lvaexp -metrics (full registry) -> ${metrics}"
-    go run ./cmd/lvaexp -metrics "${metrics}" all > /dev/null
+    tl="TIMELINE_${stamp}.json"
+    echo "==> lvaexp -metrics -timeline (full registry + run timeline) -> ${metrics}, ${tl}"
+    go run ./cmd/lvaexp -metrics "${metrics}" -timeline "${tl}" all > /dev/null
     echo "ci.sh: metrics snapshot written to ${metrics}"
+    echo "ci.sh: run timeline written to ${tl} (open at https://ui.perfetto.dev)"
     if [[ -n "${baseline}" ]]; then
-        # BENCHDIFF_FLAGS=-warn-only turns the gate advisory (used by CI).
+        # BENCHDIFF_FLAGS=-warn-only turns the gate advisory (escape hatch).
         echo "==> benchdiff ${baseline} -> ${out}"
         # shellcheck disable=SC2086
         go run ./cmd/benchdiff ${BENCHDIFF_FLAGS:-} "${baseline}" "${out}"
@@ -97,5 +100,8 @@ step go build ./...
 step go vet ./...
 step go run ./cmd/lvalint ./...
 step go test ./...
-step go test -race ./...
+# The race pass needs headroom past go test's default 10m per-package
+# timeout: single-core CI boxes run the experiment regenerations under the
+# detector's 5-10x slowdown.
+step go test -race -timeout 20m ./...
 echo "ci.sh: all checks passed"

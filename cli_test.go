@@ -212,6 +212,102 @@ func TestLvareportMetricsSection(t *testing.T) {
 	}
 }
 
+// TestLvaexpTimelineAndAttr drives the flight-recorder flags end to end:
+// -timeline must write Perfetto-loadable Chrome trace-event JSON and -attr
+// a byte-stable attribution snapshot with per-site and per-epoch records.
+func TestLvaexpTimelineAndAttr(t *testing.T) {
+	bin := buildCLI(t, "lvaexp")
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, "timeline.json")
+	attrPaths := [2]string{filepath.Join(dir, "attr-a.json"), filepath.Join(dir, "attr-b.json")}
+
+	if out, stderr, err := runCLI(t, bin, "-timeline", tlPath, "-attr", attrPaths[0], "fig12"); err != nil {
+		t.Fatalf("lvaexp -timeline -attr: %v\n%s%s", err, out, stderr)
+	}
+
+	tl, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tl, &trace); err != nil {
+		t.Fatalf("-timeline output is not trace-event JSON: %v\n%.300s", err, tl)
+	}
+	if trace.DisplayTimeUnit != "ms" || len(trace.TraceEvents) == 0 {
+		t.Fatalf("unexpected trace document: unit=%q events=%d", trace.DisplayTimeUnit, len(trace.TraceEvents))
+	}
+	var figSpan bool
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" && e.Name == "fig12" {
+			figSpan = true
+		}
+	}
+	if !figSpan {
+		t.Error("timeline missing the fig12 figure span")
+	}
+
+	// Attribution: sites + epochs present, and byte-stable across processes.
+	if out, stderr, err := runCLI(t, bin, "-attr", attrPaths[1], "fig12"); err != nil {
+		t.Fatalf("lvaexp -attr (second run): %v\n%s%s", err, out, stderr)
+	}
+	var snaps [2][]byte
+	for i, p := range attrPaths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = b
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Error("-attr output not byte-stable across runs")
+	}
+	var snap struct {
+		Scopes []struct {
+			Scope  string            `json:"scope"`
+			Sites  []json.RawMessage `json:"sites"`
+			Epochs []json.RawMessage `json:"epochs"`
+		} `json:"scopes"`
+	}
+	if err := json.Unmarshal(snaps[0], &snap); err != nil {
+		t.Fatalf("-attr output is not a snapshot: %v", err)
+	}
+	if len(snap.Scopes) == 0 {
+		t.Fatal("-attr snapshot has no scopes")
+	}
+	var sites, epochs int
+	for _, sc := range snap.Scopes {
+		sites += len(sc.Sites)
+		epochs += len(sc.Epochs)
+	}
+	if sites == 0 || epochs == 0 {
+		t.Fatalf("-attr snapshot has %d sites and %d epochs, want both > 0", sites, epochs)
+	}
+}
+
+// TestLvareportAttrSection checks the rendered attribution report.
+func TestLvareportAttrSection(t *testing.T) {
+	bin := buildCLI(t, "lvareport")
+	out, _, err := runCLI(t, bin, "-only", "fig12", "-attr")
+	if err != nil {
+		t.Fatalf("lvareport -attr: %v", err)
+	}
+	for _, want := range []string{
+		"## Approximation attribution",
+		"| pc | loads | misses | covered | mean rel err | max rel err | conf +/- |",
+		"/lva/",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%.2000s", want, out)
+		}
+	}
+}
+
 func TestLvareportSubset(t *testing.T) {
 	bin := buildCLI(t, "lvareport")
 	out, _, err := runCLI(t, bin, "-only", "fig12")

@@ -17,6 +17,7 @@ import (
 
 	"lva/internal/experiments"
 	"lva/internal/obs"
+	"lva/internal/obs/attr"
 )
 
 func main() {
@@ -30,12 +31,25 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	progress := flag.Bool("progress", false, "print live per-figure progress to stderr")
+	timelineOut := flag.String("timeline", "", "capture a Chrome trace-event run timeline (load in Perfetto) to this file")
+	attrOut := flag.String("attr", "", "write a per-site/per-epoch attribution snapshot (JSON) to this file")
+	attrWindow := flag.Int("attr-window", 0, "epoch window in annotated loads for -attr time-series (0 = default, <0 = sites only)")
 	flag.Parse()
 
 	// -metrics implies full instrumentation: enable before any simulator is
-	// constructed so the hot-path seams wire up.
+	// constructed so the hot-path seams wire up. -attr likewise enables the
+	// flight recorder before the first run.
 	if *metricsOut != "" || *pprofAddr != "" {
 		obs.SetEnabled(true)
+	}
+	if *attrOut != "" {
+		if *attrWindow != 0 {
+			attr.SetEpochWindow(*attrWindow)
+		}
+		attr.SetEnabled(true)
+	}
+	if *timelineOut != "" {
+		experiments.StartTimeline()
 	}
 	if *pprofAddr != "" {
 		addr, err := obs.ServeDebug(*pprofAddr)
@@ -112,6 +126,27 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lvaexp: write metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		b, err := experiments.TimelineJSON()
+		if err == nil {
+			err = os.WriteFile(*timelineOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp: write timeline:", err)
+			os.Exit(1)
+		}
+		experiments.StopTimeline()
+	}
+	if *attrOut != "" {
+		b, err := attr.TakeSnapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(*attrOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp: write attribution:", err)
 			os.Exit(1)
 		}
 	}

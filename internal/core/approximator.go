@@ -2,6 +2,7 @@ package core
 
 import (
 	"lva/internal/obs"
+	"lva/internal/obs/attr"
 	"lva/internal/value"
 )
 
@@ -58,6 +59,7 @@ type entry struct {
 type pendingTrain struct {
 	set       int         // table set captured at miss time
 	tag       uint64      // tag captured at miss time
+	pc        uint64      // load PC, for per-site attribution
 	actual    value.Value // precise value from memory
 	approx    value.Value // value the approximator generated (or would have)
 	hadApprox bool        // whether approx is meaningful for confidence
@@ -91,6 +93,9 @@ type Approximator struct {
 	stats     Stats
 	// om is non-nil only when obs metrics were enabled at construction.
 	om *coreMetrics
+	// at is non-nil only when a flight recorder was attached for this run;
+	// the hooks fire on training commits, never on the load fast path.
+	at *attr.Recorder
 }
 
 // New builds an approximator; it panics on an invalid Config since
@@ -122,6 +127,10 @@ func New(cfg Config) *Approximator {
 
 // Config returns the configuration the approximator was built with.
 func (a *Approximator) Config() Config { return a.cfg }
+
+// SetAttribution attaches a flight recorder for this run (nil detaches).
+// Call before issuing loads; the simulator wires it when attr.Enabled().
+func (a *Approximator) SetAttribution(rec *attr.Recorder) { a.at = rec }
 
 // Stats returns a copy of the event counters.
 func (a *Approximator) Stats() Stats { return a.stats }
@@ -180,12 +189,12 @@ func (a *Approximator) OnMiss(pc uint64, actual value.Value) Decision {
 		// (after the value delay) allocate/retag and train.
 		a.stats.NoEntry++
 		a.stats.Fetches++
-		a.enqueueTrain(set, tag, actual, value.Value{}, false)
+		a.enqueueTrain(set, tag, pc, actual, value.Value{}, false)
 		return Decision{Fetch: true}
 	}
 
 	if a.cfg.Mode == ModeLVP {
-		return a.lvpMiss(set, tag, e, actual)
+		return a.lvpMiss(set, tag, pc, e, actual)
 	}
 
 	if len(e.lhb) == 0 {
@@ -193,7 +202,7 @@ func (a *Approximator) OnMiss(pc uint64, actual value.Value) Decision {
 		// training is still pending): behave precisely.
 		a.stats.NoEntry++
 		a.stats.Fetches++
-		a.enqueueTrain(set, tag, actual, value.Value{}, false)
+		a.enqueueTrain(set, tag, pc, actual, value.Value{}, false)
 		return Decision{Fetch: true}
 	}
 
@@ -205,7 +214,7 @@ func (a *Approximator) OnMiss(pc uint64, actual value.Value) Decision {
 	if useConf && e.conf < 0 {
 		a.stats.LowConfidence++
 		a.stats.Fetches++
-		a.enqueueTrain(set, tag, actual, candidate, true)
+		a.enqueueTrain(set, tag, pc, actual, candidate, true)
 		return Decision{Fetch: true}
 	}
 
@@ -224,13 +233,13 @@ func (a *Approximator) OnMiss(pc uint64, actual value.Value) Decision {
 	}
 	e.degree = a.cfg.Degree
 	a.stats.Fetches++
-	a.enqueueTrain(set, tag, actual, candidate, true)
+	a.enqueueTrain(set, tag, pc, actual, candidate, true)
 	return Decision{Approximated: true, Value: candidate, Fetch: true}
 }
 
 // lvpMiss implements the idealized LVP baseline: coverage iff the exact
 // value sits in the LHB; the block is always fetched and trained.
-func (a *Approximator) lvpMiss(set int, tag uint64, e *entry, actual value.Value) Decision {
+func (a *Approximator) lvpMiss(set int, tag, pc uint64, e *entry, actual value.Value) Decision {
 	correct := false
 	for _, v := range e.lhb {
 		if v.Equal(actual) {
@@ -239,7 +248,7 @@ func (a *Approximator) lvpMiss(set int, tag uint64, e *entry, actual value.Value
 		}
 	}
 	a.stats.Fetches++
-	a.enqueueTrain(set, tag, actual, actual, false)
+	a.enqueueTrain(set, tag, pc, actual, actual, false)
 	if correct {
 		a.stats.LVPCorrect++
 		a.stats.Approximations++
@@ -249,8 +258,8 @@ func (a *Approximator) lvpMiss(set int, tag uint64, e *entry, actual value.Value
 }
 
 // enqueueTrain schedules a training commit after the configured value delay.
-func (a *Approximator) enqueueTrain(set int, tag uint64, actual, approx value.Value, hadApprox bool) {
-	t := pendingTrain{set: set, tag: tag, actual: actual, approx: approx, hadApprox: hadApprox}
+func (a *Approximator) enqueueTrain(set int, tag, pc uint64, actual, approx value.Value, hadApprox bool) {
+	t := pendingTrain{set: set, tag: tag, pc: pc, actual: actual, approx: approx, hadApprox: hadApprox}
 	if a.cfg.ValueDelay == 0 {
 		a.commitTrain(t)
 		return
@@ -364,20 +373,33 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 	}
 
 	if !t.hadApprox {
+		if at := a.at; at != nil {
+			at.Train(t.pc, false, false, false, false, 0)
+		}
 		return
 	}
 	before := e.conf
+	// The relative error feeds both observability seams; compute it once
+	// and only when at least one of them is wired.
+	relErr := 0.0
+	if a.om != nil || a.at != nil {
+		relErr = value.RelDiff(t.approx.Float(), t.actual.Float())
+	}
 	if value.WithinWindow(t.approx, t.actual, a.cfg.Window) {
 		a.stats.ConfAccepts++
 		if e.conf < a.cfg.ConfMax() {
 			e.conf++
 		}
+		gained := before < 0 && e.conf >= 0
 		if m := a.om; m != nil {
 			m.confAccepts.Inc()
-			if before < 0 && e.conf >= 0 {
+			if gained {
 				m.confGained.Inc()
 			}
-			m.relErr.Observe(value.RelDiff(t.approx.Float(), t.actual.Float()))
+			m.relErr.Observe(relErr)
+		}
+		if at := a.at; at != nil {
+			at.Train(t.pc, true, true, gained, false, relErr)
 		}
 		return
 	}
@@ -393,12 +415,16 @@ func (a *Approximator) commitTrain(t pendingTrain) {
 	if e.conf < a.cfg.ConfMin() {
 		e.conf = a.cfg.ConfMin()
 	}
+	lost := before >= 0 && e.conf < 0
 	if m := a.om; m != nil {
 		m.confRejects.Inc()
-		if before >= 0 && e.conf < 0 {
+		if lost {
 			m.confLost.Inc()
 		}
-		m.relErr.Observe(value.RelDiff(t.approx.Float(), t.actual.Float()))
+		m.relErr.Observe(relErr)
+	}
+	if at := a.at; at != nil {
+		at.Train(t.pc, true, false, false, lost, relErr)
 	}
 }
 

@@ -32,12 +32,12 @@ func AblationTable() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	ablationWays := []int{2, 4}
-	var b batch
+	b := newBatch("ablation-table")
 	precise := b.precise()
 	sizeRuns := make([][]RunResult, len(ablationTableSizes))
 	for si, entries := range ablationTableSizes {
 		entries := entries
-		sizeRuns[si] = b.lva(func(w workloads.Workload) core.Config {
+		sizeRuns[si] = b.lva(fmt.Sprintf("entries-%d", entries), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableEntries = entries
 			return cfg
@@ -46,7 +46,7 @@ func AblationTable() *Figure {
 	wayRuns := make([][]RunResult, len(ablationWays))
 	for wi, ways := range ablationWays {
 		ways := ways
-		wayRuns[wi] = b.lva(func(w workloads.Workload) core.Config {
+		wayRuns[wi] = b.lva(fmt.Sprintf("ways-%d", ways), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableWays = ways
 			return cfg
@@ -74,12 +74,12 @@ func AblationCompute() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	kinds := []core.ComputeKind{core.ComputeAverage, core.ComputeLast, core.ComputeStride}
-	var b batch
+	b := newBatch("ablation-compute")
 	precise := b.precise()
 	kindRuns := make([][]RunResult, len(kinds))
 	for ki, kind := range kinds {
 		kind := kind
-		kindRuns[ki] = b.lva(func(w workloads.Workload) core.Config {
+		kindRuns[ki] = b.lva(kind.String(), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Compute = kind
 			return cfg
@@ -107,12 +107,12 @@ func AblationLHB() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	depths := []int{1, 2, 4, 8}
-	var b batch
+	b := newBatch("ablation-lhb")
 	precise := b.precise()
 	depthRuns := make([][]RunResult, len(depths))
 	for di, depth := range depths {
 		depth := depth
-		depthRuns[di] = b.lva(func(w workloads.Workload) core.Config {
+		depthRuns[di] = b.lva(fmt.Sprintf("lhb-%d", depth), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.LHBSize = depth
 			return cfg
@@ -140,12 +140,16 @@ func AblationConfidence() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	props := []bool{false, true}
-	var b batch
+	b := newBatch("ablation-conf")
 	precise := b.precise()
 	propRuns := make([][]RunResult, len(props))
 	for pi, prop := range props {
 		prop := prop
-		propRuns[pi] = b.lva(func(w workloads.Workload) core.Config {
+		label := "step-1"
+		if prop {
+			label = "proportional"
+		}
+		propRuns[pi] = b.lva(label, func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.IntConfidence = true // give the counter authority everywhere
 			cfg.ProportionalConfidence = prop
@@ -180,9 +184,9 @@ func ExtLane() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	const degree = 4
-	mk := func(lane *fullsys.TrainingLaneConfig) []fullsys.Result {
+	mk := func(label string, lane *fullsys.TrainingLaneConfig) []fullsys.Result {
 		out := make([]fullsys.Result, len(workloads.Names()))
-		forEachWorkload(func(i int, w workloads.Workload) {
+		forEachWorkload("ext-lane/"+label, func(i int, w workloads.Workload) {
 			acfg := BaselineFor(w)
 			acfg.Degree = degree
 			acfg.ValueDelay = 1
@@ -194,11 +198,11 @@ func ExtLane() *Figure {
 		return out
 	}
 	precise := make([]fullsys.Result, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
+	forEachWorkload("ext-lane/precise", func(i int, w workloads.Workload) {
 		precise[i] = fullSystemSweep(w).precise
 	})
-	fast := mk(nil)
-	slow := mk(fullsys.DefaultTrainingLane())
+	fast := mk("fast-lane", nil)
+	slow := mk("slow-lane", fullsys.DefaultTrainingLane())
 
 	speedFast := Row{Label: "speedup fast-lane"}
 	speedSlow := Row{Label: "speedup slow-lane"}

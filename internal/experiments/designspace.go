@@ -57,18 +57,18 @@ func Fig4() *Figure {
 		ValueUnit:  "normalized MPKI (lower is better)",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("fig4")
 	precise := b.precise()
 	lvpRuns := make([][]RunResult, len(ghbSizes))
 	lvaRuns := make([][]RunResult, len(ghbSizes))
 	for gi, g := range ghbSizes {
 		g := g
-		lvpRuns[gi] = b.lvp(func(w workloads.Workload) core.Config {
+		lvpRuns[gi] = b.lvp(fmt.Sprintf("LVP-GHB-%d", g), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
 		})
-		lvaRuns[gi] = b.lva(func(w workloads.Workload) core.Config {
+		lvaRuns[gi] = b.lva(fmt.Sprintf("LVA-GHB-%d", g), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
@@ -95,12 +95,12 @@ func Fig5() *Figure {
 		ValueUnit:  "output error (fraction)",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("fig5")
 	precise := b.precise()
 	ghbRuns := make([][]RunResult, len(ghbSizes))
 	for gi, g := range ghbSizes {
 		g := g
-		ghbRuns[gi] = b.lva(func(w workloads.Workload) core.Config {
+		ghbRuns[gi] = b.lva(fmt.Sprintf("GHB-%d", g), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
@@ -140,17 +140,17 @@ func Fig6() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("fig6")
 	precise := b.precise()
 	winRuns := make([][]RunResult, len(confidenceWindows))
 	for wi, win := range confidenceWindows {
 		win := win
 		if win == 0 {
-			winRuns[wi] = b.lvp(func(workloads.Workload) core.Config {
+			winRuns[wi] = b.lvp("win-ideal-lvp", func(workloads.Workload) core.Config {
 				return core.DefaultConfig()
 			})
 		} else {
-			winRuns[wi] = b.lva(func(workloads.Workload) core.Config {
+			winRuns[wi] = b.lva(fmt.Sprintf("win-%g", win), func(workloads.Workload) core.Config {
 				cfg := core.DefaultConfig()
 				cfg.Window = win
 				cfg.IntConfidence = true // both data kinds use confidence here
@@ -182,12 +182,12 @@ func Fig7() *Figure {
 		ValueUnit:  "normalized MPKI / error fraction",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("fig7")
 	precise := b.precise()
 	delayRuns := make([][]RunResult, len(valueDelays))
 	for di, d := range valueDelays {
 		d := d
-		delayRuns[di] = b.lva(func(w workloads.Workload) core.Config {
+		delayRuns[di] = b.lva(fmt.Sprintf("delay-%d", d), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.ValueDelay = d
 			return cfg
@@ -218,14 +218,14 @@ func Fig8() *Figure {
 		ValueUnit:  "normalized MPKI / normalized fetches",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("fig8")
 	precise := b.precise()
 	prefRuns := make([][]RunResult, len(degrees))
 	apxRuns := make([][]RunResult, len(degrees))
 	for di, d := range degrees {
 		d := d
-		prefRuns[di] = b.prefetch(d)
-		apxRuns[di] = b.lva(func(w workloads.Workload) core.Config {
+		prefRuns[di] = b.prefetch(fmt.Sprintf("prefetch-%d", d), d)
+		apxRuns[di] = b.lva(fmt.Sprintf("approx-%d", d), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Degree = d
 			return cfg
@@ -258,12 +258,12 @@ func Fig9() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	allDegrees := append([]int{0}, degrees...)
-	var b batch
+	b := newBatch("fig9")
 	precise := b.precise()
 	degRuns := make([][]RunResult, len(allDegrees))
 	for di, d := range allDegrees {
 		d := d
-		degRuns[di] = b.lva(func(w workloads.Workload) core.Config {
+		degRuns[di] = b.lva(fmt.Sprintf("approx-%d", d), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Degree = d
 			return cfg
@@ -288,8 +288,8 @@ func Fig12() *Figure {
 		ValueUnit:  "count",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
-	runs := b.lva(BaselineFor)
+	b := newBatch("fig12")
+	runs := b.lva("lva", BaselineFor)
 	b.run()
 	row := Row{Label: "static approx load PCs"}
 	for _, r := range runs {
@@ -315,15 +315,15 @@ func Fig13() *Figure {
 		ValueUnit:  "normalized MPKI",
 		Benchmarks: []string{fl.Name()},
 	}
-	var b batch
-	precise := b.one(func() RunResult { return RunPrecise(fl, DefaultSeed) })
+	b := newBatch("fig13")
+	precise := b.one("precise", func() RunResult { return RunPrecise(fl, DefaultSeed) })
 	lossRuns := make([]*RunResult, len(mantissaLosses))
 	for bi, bits := range mantissaLosses {
 		cfg := core.DefaultConfig()
 		cfg.GHBSize = 2
 		cfg.Window = -1 // confidence disabled (never rejects)
 		cfg.MantissaLoss = bits
-		lossRuns[bi] = b.one(func() RunResult { return RunLVA(fl, cfg, DefaultSeed) })
+		lossRuns[bi] = b.one(fmt.Sprintf("loss-%d", bits), func() RunResult { return RunLVA(fl, cfg, DefaultSeed) })
 	}
 	b.run()
 	for bi, bits := range mantissaLosses {
@@ -348,9 +348,9 @@ func Fig1() *Figure {
 		ValueUnit:  "fraction of image diagonal",
 		Benchmarks: []string{bt.Name()},
 	}
-	var b batch
-	precise := b.one(func() RunResult { return RunPrecise(bt, DefaultSeed) })
-	run := b.one(func() RunResult { return RunLVA(bt, BaselineFor(bt), DefaultSeed) })
+	b := newBatch("fig1")
+	precise := b.one("precise", func() RunResult { return RunPrecise(bt, DefaultSeed) })
+	run := b.one("lva", func() RunResult { return RunLVA(bt, BaselineFor(bt), DefaultSeed) })
 	b.run()
 	f.Rows = append(f.Rows, Row{Label: "output error", Values: []float64{ErrorVs(*run, *precise)}})
 	f.Rows = append(f.Rows, Row{Label: "coverage", Values: []float64{run.Sim.Coverage()}})

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lva/internal/obs"
 	"lva/internal/stats"
@@ -171,7 +174,17 @@ func RunAll(ids ...string) ([]*Figure, error) {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			figs[i] = Registry[id]()
+			// Label the driver goroutine (and everything it spawns) so CPU
+			// and goroutine profiles attribute samples to their figure; the
+			// labels are cheap enough to apply unconditionally.
+			pprof.Do(context.Background(), pprof.Labels("lva_figure", id), func(context.Context) {
+				tl := timeline.Load()
+				start := time.Now()
+				figs[i] = Registry[id]()
+				if tl != nil {
+					tl.span(tlPidFigures, i, id, "figure", start, nil)
+				}
+			})
 			eng().figuresDone.Inc()
 			obs.Emit(obs.Event{
 				Kind: obs.EventFigureDone, Name: id,

@@ -176,7 +176,7 @@ func Fig11() *Figure {
 // and returns them in registry order.
 func sweepAll() []*fullsysRun {
 	out := make([]*fullsysRun, len(workloads.Names()))
-	forEachWorkload(func(i int, w workloads.Workload) {
+	forEachWorkload("fullsys-sweep", func(i int, w workloads.Workload) {
 		out[i] = fullSystemSweep(w)
 	})
 	return out

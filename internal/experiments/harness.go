@@ -5,10 +5,13 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"lva/internal/core"
 	"lva/internal/memsim"
+	"lva/internal/obs/attr"
 	"lva/internal/prefetch"
 	"lva/internal/workloads"
 )
@@ -26,7 +29,7 @@ type RunResult struct {
 // baseline against which MPKI is normalized and output error measured.
 // Like all Run* entry points it is memoized in the process-wide run cache.
 func RunPrecise(w workloads.Workload, seed uint64) RunResult {
-	return cachedRun(runKey("precise", w, "", seed), true, func() RunResult {
+	return cachedRun(runKey("precise", w, "", seed), "precise/"+w.Name(), true, func() RunResult {
 		cfg := memsim.DefaultConfig()
 		cfg.Attach = memsim.AttachNone
 		return runWith(w, cfg, seed)
@@ -36,7 +39,7 @@ func RunPrecise(w workloads.Workload, seed uint64) RunResult {
 // RunLVA executes the kernel with a load value approximator built from
 // coreCfg attached to the L1.
 func RunLVA(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
-	return cachedRun(runKey("lva", w, fmt.Sprintf("%#v", coreCfg), seed), false, func() RunResult {
+	return cachedRun(runKey("lva", w, fmt.Sprintf("%#v", coreCfg), seed), "lva/"+w.Name(), false, func() RunResult {
 		cfg := memsim.DefaultConfig()
 		cfg.Attach = memsim.AttachLVA
 		cfg.Approx = coreCfg
@@ -47,7 +50,7 @@ func RunLVA(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
 // RunLVP executes the kernel with the idealized load value predictor
 // baseline (exact-match coverage, always fetch).
 func RunLVP(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
-	return cachedRun(runKey("lvp", w, fmt.Sprintf("%#v", coreCfg), seed), false, func() RunResult {
+	return cachedRun(runKey("lvp", w, fmt.Sprintf("%#v", coreCfg), seed), "lvp/"+w.Name(), false, func() RunResult {
 		cfg := memsim.DefaultConfig()
 		cfg.Attach = memsim.AttachLVP
 		cfg.Approx = coreCfg
@@ -58,7 +61,7 @@ func RunLVP(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
 // RunPrefetch executes the kernel with the GHB prefetcher at the given
 // degree (applied to all data, as in the paper).
 func RunPrefetch(w workloads.Workload, degree int, seed uint64) RunResult {
-	return cachedRun(runKey("prefetch", w, fmt.Sprintf("%#v|degree=%d", prefetch.DefaultConfig(), degree), seed), false, func() RunResult {
+	return cachedRun(runKey("prefetch", w, fmt.Sprintf("%#v|degree=%d", prefetch.DefaultConfig(), degree), seed), fmt.Sprintf("prefetch-%d/%s", degree, w.Name()), false, func() RunResult {
 		cfg := memsim.DefaultConfig()
 		cfg.Attach = memsim.AttachPrefetch
 		p := prefetch.DefaultConfig()
@@ -70,8 +73,32 @@ func RunPrefetch(w workloads.Workload, degree int, seed uint64) RunResult {
 
 func runWith(w workloads.Workload, cfg memsim.Config, seed uint64) RunResult {
 	sim := memsim.New(cfg)
+	rec := attrRecorder(w, cfg, seed)
+	if rec != nil {
+		sim.SetAttribution(rec)
+	}
 	out := w.Run(sim, seed)
-	return RunResult{Output: out, Sim: sim.Result()}
+	res := RunResult{Output: out, Sim: sim.Result()}
+	if rec != nil {
+		attr.Publish(rec)
+	}
+	return res
+}
+
+// attrRecorder builds the flight recorder for one simulation when
+// attribution is enabled. The scope fingerprints the full design point —
+// workload name, attachment and a short hash of the exact configuration and
+// seed — so distinct points publish under distinct scopes while re-running
+// the same point (cache disabled, repeated figures) republishes
+// identically. Precise runs carry no annotated-load machinery worth
+// attributing and get no recorder.
+func attrRecorder(w workloads.Workload, cfg memsim.Config, seed uint64) *attr.Recorder {
+	if !attr.Enabled() || cfg.Attach == memsim.AttachNone {
+		return nil
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v|%#v|seed=%d", w, cfg, seed)))
+	scope := fmt.Sprintf("%s/%s/%s", w.Name(), cfg.Attach, hex.EncodeToString(sum[:4]))
+	return attr.NewRecorder(scope)
 }
 
 // BaselineFor returns the paper's Table II approximator configuration,

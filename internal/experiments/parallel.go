@@ -20,19 +20,24 @@ var Parallelism = runtime.GOMAXPROCS(0)
 
 // simGate is the process-wide admission gate. It re-reads Parallelism on
 // every admit, so tests may change the bound between experiments; a lower
-// bound takes effect as in-flight simulations drain.
+// bound takes effect as in-flight simulations drain. busy tracks which
+// slot ids are occupied so the timeline can render one stable track per
+// concurrent worker.
 var simGate = struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	active int
+	busy   []bool
 }{}
 
 func init() { simGate.cond = sync.NewCond(&simGate.mu) }
 
 // admit blocks until a simulation slot is free and claims it, recording
 // the wait on the (volatile) queue-wait histogram and publishing the new
-// occupancy on the in-flight gauge.
-func admit() {
+// occupancy on the in-flight gauge. It returns the claimed slot id (lowest
+// free, so concurrent work packs onto low-numbered timeline tracks) and
+// how long the caller queued.
+func admit() (slot int, wait time.Duration) {
 	m := eng()
 	start := time.Now()
 	simGate.mu.Lock()
@@ -40,31 +45,72 @@ func admit() {
 		simGate.cond.Wait()
 	}
 	simGate.active++
+	for slot < len(simGate.busy) && simGate.busy[slot] {
+		slot++
+	}
+	if slot == len(simGate.busy) {
+		simGate.busy = append(simGate.busy, false)
+	}
+	simGate.busy[slot] = true
 	m.inflight.Set(int64(simGate.active))
 	simGate.mu.Unlock()
-	m.queueWait.Observe(time.Since(start).Seconds())
+	wait = time.Since(start)
+	m.queueWait.Observe(wait.Seconds())
+	return slot, wait
 }
 
-// release returns a slot claimed by admit.
-func release() {
+// release returns the slot claimed by admit.
+func release(slot int) {
 	m := eng()
 	simGate.mu.Lock()
 	simGate.active--
+	simGate.busy[slot] = false
 	m.inflight.Set(int64(simGate.active))
 	simGate.cond.Signal()
 	simGate.mu.Unlock()
 }
 
+// gated runs fn while holding a gate slot. When a timeline capture is
+// active it also records a worker span named label on the slot's track,
+// with the queue wait attached.
+func gated(label string, fn func()) {
+	slot, wait := admit()
+	defer release(slot)
+	tl := timeline.Load()
+	if tl == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	tl.span(tlPidWorkers, slot, label, "task", start,
+		map[string]any{"queue_wait_us": wait.Microseconds()})
+}
+
+// task is one labelled simulation point of a batch.
+type task struct {
+	label string
+	fn    func()
+}
+
 // batch collects the simulation points of one experiment — any number of
 // rows — and runs them all concurrently through the shared gate, so points
 // from different rows (and, under RunAll, different figures) are in flight
-// at once. Tasks execute while holding a gate slot and must not run nested
-// batches or forEachWorkload calls, which would wait for slots they
-// themselves occupy.
-type batch struct{ tasks []func() }
+// at once. fig names the owning experiment on the timeline. Tasks execute
+// while holding a gate slot and must not run nested batches or
+// forEachWorkload calls, which would wait for slots they themselves occupy.
+type batch struct {
+	fig   string
+	tasks []task
+}
 
-// add schedules one task for the next run call.
-func (b *batch) add(fn func()) { b.tasks = append(b.tasks, fn) }
+// newBatch starts a batch for the named experiment.
+func newBatch(fig string) batch { return batch{fig: fig} }
+
+// add schedules one labelled task for the next run call.
+func (b *batch) add(label string, fn func()) {
+	b.tasks = append(b.tasks, task{label: label, fn: fn})
+}
 
 // run executes every collected task gate-bounded and returns when all have
 // finished, leaving the batch empty for reuse.
@@ -72,11 +118,9 @@ func (b *batch) run() {
 	var wg sync.WaitGroup
 	for _, t := range b.tasks {
 		wg.Add(1)
-		go func(task func()) {
+		go func(t task) {
 			defer wg.Done()
-			admit()
-			defer release()
-			task()
+			gated(b.fig+"/"+t.label, t.fn)
 		}(t)
 	}
 	wg.Wait()
@@ -85,41 +129,42 @@ func (b *batch) run() {
 
 // one schedules a single simulation point; the returned pointer is filled
 // when run returns.
-func (b *batch) one(sim func() RunResult) *RunResult {
+func (b *batch) one(label string, sim func() RunResult) *RunResult {
 	out := new(RunResult)
-	b.add(func() { *out = sim() })
+	b.add(label, func() { *out = sim() })
 	return out
 }
 
 // lva schedules one LVA point per benchmark under cfgFor(w); the returned
-// slice (registry order) is filled when run returns.
-func (b *batch) lva(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+// slice (registry order) is filled when run returns. label names the row
+// on the timeline.
+func (b *batch) lva(label string, cfgFor func(w workloads.Workload) core.Config) []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
 		cfg := cfgFor(w)
-		b.add(func() { out[i] = RunLVA(w, cfg, DefaultSeed) })
+		b.add(label+"/"+w.Name(), func() { out[i] = RunLVA(w, cfg, DefaultSeed) })
 	}
 	return out
 }
 
 // lvp is lva for the idealized LVP baseline.
-func (b *batch) lvp(cfgFor func(w workloads.Workload) core.Config) []RunResult {
+func (b *batch) lvp(label string, cfgFor func(w workloads.Workload) core.Config) []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
 		cfg := cfgFor(w)
-		b.add(func() { out[i] = RunLVP(w, cfg, DefaultSeed) })
+		b.add(label+"/"+w.Name(), func() { out[i] = RunLVP(w, cfg, DefaultSeed) })
 	}
 	return out
 }
 
 // prefetch schedules one GHB-prefetcher point per benchmark at a degree.
-func (b *batch) prefetch(degree int) []RunResult {
+func (b *batch) prefetch(label string, degree int) []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
-		b.add(func() { out[i] = RunPrefetch(w, degree, DefaultSeed) })
+		b.add(label+"/"+w.Name(), func() { out[i] = RunPrefetch(w, degree, DefaultSeed) })
 	}
 	return out
 }
@@ -129,24 +174,23 @@ func (b *batch) precise() []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
-		b.add(func() { out[i] = RunPrecise(w, DefaultSeed) })
+		b.add("precise/"+w.Name(), func() { out[i] = RunPrecise(w, DefaultSeed) })
 	}
 	return out
 }
 
 // forEachWorkload runs fn once per benchmark through the shared gate,
-// passing the benchmark's index in workloads.All() order. It returns when
-// all have finished. The full-system drivers use it directly; phase-1
-// drivers batch their rows instead so whole figures fan out at once.
-func forEachWorkload(fn func(i int, w workloads.Workload)) {
+// passing the benchmark's index in workloads.All() order; label names the
+// work on the timeline's worker tracks. It returns when all have finished.
+// The full-system drivers use it directly; phase-1 drivers batch their
+// rows instead so whole figures fan out at once.
+func forEachWorkload(label string, fn func(i int, w workloads.Workload)) {
 	var wg sync.WaitGroup
 	for i, w := range workloads.All() {
 		wg.Add(1)
 		go func(i int, w workloads.Workload) {
 			defer wg.Done()
-			admit()
-			defer release()
-			fn(i, w)
+			gated(label+"/"+w.Name(), func() { fn(i, w) })
 		}(i, w)
 	}
 	wg.Wait()

@@ -68,16 +68,23 @@ func runKey(attach string, w workloads.Workload, cfg string, seed uint64) string
 }
 
 // cachedRun returns the memoized result for key, simulating at most once
-// per process. precise marks baseline runs for hit accounting. Counters
-// live on the obs registry (one counter surface for lva.go, lvaexp -v and
+// per process. label names the point on the run timeline (executed
+// simulations become spans on the kernel-simulation lanes; memo hits become
+// instants). precise marks baseline runs for hit accounting. Counters live
+// on the obs registry (one counter surface for lva.go, lvaexp -v and
 // -metrics alike); the wall-time histogram is volatile and only wraps
 // simulations that actually execute.
-func cachedRun(key string, precise bool, sim func() RunResult) RunResult {
+func cachedRun(key, label string, precise bool, sim func() RunResult) RunResult {
 	m := eng()
 	timed := func() RunResult {
+		tl := timeline.Load()
 		start := time.Now()
 		r := sim()
 		m.runWall.Observe(time.Since(start).Seconds())
+		if tl != nil {
+			tl.span(tlPidSims, tl.nextSimTid(), "sim "+label, "sim", start,
+				map[string]any{"cache": "miss"})
+		}
 		return r
 	}
 	if runCacheOff.Load() {
@@ -96,6 +103,9 @@ func cachedRun(key string, precise bool, sim func() RunResult) RunResult {
 		m.cacheHits.Inc()
 		if precise {
 			m.preciseHits.Inc()
+		}
+		if tl := timeline.Load(); tl != nil {
+			tl.instant(tlPidSims, 0, "hit "+label, "cache", nil)
 		}
 	}
 	return cell.r

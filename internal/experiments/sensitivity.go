@@ -37,7 +37,7 @@ func ExtMLP() *Figure {
 	for _, m := range machines {
 		m := m
 		row := Row{Label: m.label, Values: make([]float64, len(workloads.Names()))}
-		forEachWorkload(func(i int, w workloads.Workload) {
+		forEachWorkload("ext-mlp/"+m.label, func(i int, w workloads.Workload) {
 			tr := cachedTrace(w)
 
 			base := fullsys.DefaultConfig()

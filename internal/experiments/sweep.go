@@ -140,11 +140,11 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 		}
 		ws[i] = w
 	}
-	var warm batch
+	warm := newBatch("sweep")
 	preciseRuns := make([]RunResult, len(ws))
 	for i, w := range ws {
 		i, w := i, w
-		warm.add(func() { preciseRuns[i] = RunPrecise(w, n.Seed) })
+		warm.add("warm-precise/"+w.Name(), func() { preciseRuns[i] = RunPrecise(w, n.Seed) })
 	}
 	warm.run()
 
@@ -215,9 +215,8 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 		go func() {
 			defer wg.Done()
 			for j := range feed {
-				admit()
-				run := RunLVA(j.w, j.cfg, n.Seed)
-				release()
+				var run RunResult
+				gated("sweep/"+j.bench, func() { run = RunLVA(j.w, j.cfg, n.Seed) })
 				pt := j.point
 				pt.RawMPKI = run.Sim.RawMPKI()
 				pt.EffectiveMPKI = run.Sim.EffectiveMPKI()

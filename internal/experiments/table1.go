@@ -18,9 +18,9 @@ func Table1() *Figure {
 		ValueUnit:  "MPKI / % variation",
 		Benchmarks: workloads.Names(),
 	}
-	var b batch
+	b := newBatch("table1")
 	precise := b.precise()
-	runs := b.lva(BaselineFor)
+	runs := b.lva("lva", BaselineFor)
 	b.run()
 	mpki := Row{Label: "precise L1 MPKI"}
 	vari := Row{Label: "inst count variation %"}

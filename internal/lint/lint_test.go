@@ -98,6 +98,8 @@ func TestFixtures(t *testing.T) {
 		{"detfloat_good", "detfloat", false},
 		{"obshooks_bad", "obshooks", true},
 		{"obshooks_good", "obshooks", false},
+		{"obshooks_attr_bad", "obshooks", true},
+		{"obshooks_attr_good", "obshooks", false},
 		{"hotpath_bad", "hotpath", true},
 		{"hotpath_good", "hotpath", false},
 	}

@@ -20,6 +20,7 @@ var libraryPkgs = map[string]bool{
 	"lva/internal/memsim":    true,
 	"lva/internal/noc":       true,
 	"lva/internal/obs":       true,
+	"lva/internal/obs/attr":  true,
 	"lva/internal/prefetch":  true,
 	"lva/internal/stats":     true,
 	"lva/internal/trace":     true,

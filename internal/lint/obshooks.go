@@ -18,6 +18,12 @@ import (
 //     go through the lva/internal/obs registry (atomic, race-safe under
 //     the cross-figure scheduler), not ad-hoc globals.
 //
+// The attribution flight recorder (lva/internal/obs/attr) is itself wired
+// into the annotated-load path through a nil-pointer seam, so it obeys the
+// same rules plus one more: no calls into package fmt anywhere in it —
+// formatting boxes operands and its snapshot layer must stay encoding/json
+// + strconv only.
+//
 // Test files are exempt, as is anything acknowledged with //lint:ignore.
 var obshooksAnalyzer = &Analyzer{
 	Name: "obshooks",
@@ -27,19 +33,29 @@ var obshooksAnalyzer = &Analyzer{
 
 // hotPathPkgs are the packages on the per-load simulation path.
 var hotPathPkgs = map[string]bool{
-	"lva/internal/memsim": true,
-	"lva/internal/cache":  true,
-	"lva/internal/core":   true,
+	"lva/internal/memsim":   true,
+	"lva/internal/cache":    true,
+	"lva/internal/core":     true,
+	"lva/internal/obs/attr": true,
+}
+
+// attrSeamPkgs additionally ban fmt outright (not just in hot-named
+// functions, as hotpath does): the flight recorder is linked into every
+// simulator build and must never grow a formatting dependency.
+var attrSeamPkgs = map[string]bool{
+	"lva/internal/obs/attr": true,
 }
 
 func runObshooks(p *Pass) {
-	// Unlike the repo-wide analyzers, obshooks targets three named
+	// Unlike the repo-wide analyzers, obshooks targets a few named
 	// packages, so only its own fixtures opt in (the shared fixtures
 	// legitimately use time.Now for other analyzers).
 	if !hotPathPkgs[p.Pkg.Path] &&
 		!(isFixturePath(p.Pkg.Path) && strings.Contains(p.Pkg.Path, "obshooks")) {
 		return
 	}
+	banFmt := attrSeamPkgs[p.Pkg.Path] ||
+		(isFixturePath(p.Pkg.Path) && strings.Contains(p.Pkg.Path, "obshooks_attr"))
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if n == nil {
@@ -52,6 +68,9 @@ func runObshooks(p *Pass) {
 			case *ast.CallExpr:
 				if isTimeNow(p, n) {
 					p.Reportf(n.Pos(), "time.Now on a simulator hot path: wall-clock timing belongs in the experiment engine's volatile obs histograms")
+				}
+				if banFmt && isFmtCall(p, n) {
+					p.Reportf(n.Pos(), "call into package fmt in the attribution seam: the flight recorder rides the annotated-load path; render with encoding/json or strconv instead")
 				}
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {

@@ -1,0 +1,34 @@
+// Package obshooks_attr_bad exercises the obshooks analyzer's extra rules
+// for the attribution seam: on top of the hot-path rules (no time.Now, no
+// package-level mutation), the flight recorder must never call into
+// package fmt.
+package obshooks_attr_bad
+
+import (
+	"fmt"
+	"time"
+)
+
+// published is the kind of ad-hoc global registry the seam forbids.
+var published int
+
+// Recorder models a flight recorder that breaks every seam rule.
+type Recorder struct {
+	scope string
+	last  time.Time
+}
+
+// Train stamps wall-clock time on a simulated event.
+func (r *Recorder) Train() {
+	r.last = time.Now() // want:obshooks
+}
+
+// Scope formats with fmt, which boxes its operands on the load path.
+func (r *Recorder) Scope(pc uint64) string {
+	return fmt.Sprintf("%s/%#x", r.scope, pc) // want:obshooks
+}
+
+// Publish bumps a package-level counter instead of a registry seam.
+func Publish(r *Recorder) {
+	published++ // want:obshooks
+}

@@ -1,0 +1,55 @@
+// Package obshooks_attr_good exercises the accepted attribution-seam
+// patterns: per-recorder state mutated through the receiver, hex rendering
+// via strconv instead of fmt, and shared state reached only through a
+// lazily built accessor so no statement writes a package-level variable.
+package obshooks_attr_good
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Recorder keeps all counters on the instance; the simulator holds a
+// nil-able pointer to it and skips every hook when attribution is off.
+type Recorder struct {
+	scope  string
+	loads  uint64
+	errSum float64
+}
+
+// Load counts on the instance, never on a global.
+func (r *Recorder) Load() {
+	r.loads++
+}
+
+// Train accumulates the relative error on the instance.
+func (r *Recorder) Train(relErr float64) {
+	r.errSum += relErr
+}
+
+// hexPC renders without fmt.
+func hexPC(pc uint64) string {
+	return "0x" + strconv.FormatUint(pc, 16)
+}
+
+// registry is shared publish-side state, reached only through reg().
+type registry struct {
+	mu     sync.Mutex
+	scopes map[string]uint64
+}
+
+// reg builds the registry exactly once; callers mutate through the
+// returned pointer, so no assignment roots at a package-level identifier.
+var reg = sync.OnceValue(func() *registry {
+	return &registry{scopes: make(map[string]uint64)}
+})
+
+// Publish stores the recorder's totals under its scope.
+func Publish(r *Recorder) {
+	g := reg()
+	g.mu.Lock()
+	g.scopes[r.scope] = r.loads
+	g.mu.Unlock()
+}
+
+var _ = hexPC

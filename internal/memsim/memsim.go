@@ -14,6 +14,7 @@ import (
 	"lva/internal/cache"
 	"lva/internal/core"
 	"lva/internal/obs"
+	"lva/internal/obs/attr"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/value"
@@ -149,6 +150,10 @@ type Sim struct {
 	// om is non-nil only when obs metrics were enabled at construction;
 	// the load-hit fast path never touches it.
 	om *simMetrics
+	// at is non-nil only when a flight recorder was attached for this run.
+	// Its hooks live inside the annotated-load branch, so the plain
+	// (approx=false) hit path never tests it.
+	at *attr.Recorder
 
 	rec     *trace.Trace // optional capture
 	lastEnd []uint64     // per-thread instruction count at last recorded access
@@ -210,6 +215,18 @@ func (s *Sim) CaptureSized(name string, accesses int) {
 // TakeTrace returns the captured trace (nil if Capture was not called).
 func (s *Sim) TakeTrace() *trace.Trace { return s.rec }
 
+// SetAttribution attaches a flight recorder for this run (nil detaches),
+// wiring the attached approximator's training hooks too. Call before
+// running the workload; the experiment harness wires one per run when
+// attr.Enabled(). Attribution is observational only: it never alters
+// simulation behaviour or Result.
+func (s *Sim) SetAttribution(rec *attr.Recorder) {
+	s.at = rec
+	if s.approx != nil {
+		s.approx.SetAttribution(rec)
+	}
+}
+
 // SetThread implements Memory. It panics if t is outside [0,255], the
 // range the trace encoding's uint8 thread field can represent: thread ids
 // come from fixed workload topology, so an illegal one is a programming
@@ -249,9 +266,14 @@ func (s *Sim) load(pc, addr uint64, precise value.Value, approx bool) value.Valu
 	if s.approx != nil {
 		s.approx.OnLoad() // advance value-delay countdowns on every load
 	}
-	if approx && (!s.lastPCValid || pc != s.lastApproxPC) {
-		s.approxPC.add(pc)
-		s.lastApproxPC, s.lastPCValid = pc, true
+	if approx {
+		if !s.lastPCValid || pc != s.lastApproxPC {
+			s.approxPC.add(pc)
+			s.lastApproxPC, s.lastPCValid = pc, true
+		}
+		if at := s.at; at != nil {
+			at.Load(pc, s.insts)
+		}
 	}
 
 	// Probe/Touch instead of l1.Load: both inline, so the hit path — the
@@ -270,6 +292,9 @@ func (s *Sim) load(pc, addr uint64, precise value.Value, approx bool) value.Valu
 
 	if approx && s.approx != nil {
 		d := s.approx.OnMiss(pc, precise)
+		if at := s.at; at != nil {
+			at.Miss(pc, d.Approximated, d.Fetch)
+		}
 		if d.Fetch {
 			s.fetches++
 			s.l1.FillAbsent(addr, false)
@@ -294,6 +319,13 @@ func (s *Sim) load(pc, addr uint64, precise value.Value, approx bool) value.Valu
 	}
 
 	// Precise miss path: demand fetch, plus prefetches if attached.
+	// Annotated loads still attribute here (uncovered by construction)
+	// so precise/prefetch scopes carry comparable per-site miss counts.
+	if approx {
+		if at := s.at; at != nil {
+			at.Miss(pc, false, true)
+		}
+	}
 	before := s.fetches
 	s.fetches++
 	s.l1.FillAbsent(addr, false)

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProgressPrinterConcurrentThrottle drives the throttled printer from
+// many goroutines at once — the shape Emit produces when sweep workers
+// finish points in parallel. Every sweep must still print exactly its
+// throttled subset (every 8th point plus the final) with no interleaved
+// or torn lines, regardless of scheduling.
+func TestProgressPrinterConcurrentThrottle(t *testing.T) {
+	const sweeps = 8
+	const points = 24 // multiple of 8, so expect lines at 8, 16 and 24
+
+	var buf bytes.Buffer
+	p := NewProgressPrinter(&buf)
+	cancel := OnEvent(p)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for g := 0; g < sweeps; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("sweep-%d", g)
+			for i := 1; i <= points; i++ {
+				Emit(Event{Kind: EventSweepPoint, Name: name, Done: i, Total: points})
+			}
+			Emit(Event{Kind: EventFigureDone, Name: name, Done: g + 1, Total: sweeps})
+		}(g)
+	}
+	wg.Wait()
+
+	out := buf.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "lva: ") {
+			t.Fatalf("torn or malformed progress line %q in:\n%s", line, out)
+		}
+	}
+	for g := 0; g < sweeps; g++ {
+		name := fmt.Sprintf("sweep-%d", g)
+		if n := strings.Count(out, "sweep "+name+" "); n != 3 {
+			t.Errorf("%s printed %d times, want 3 (points 8, 16, 24):\n%s", name, n, out)
+		}
+		if !strings.Contains(out, fmt.Sprintf("figure %s done", name)) {
+			t.Errorf("missing figure line for %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestEmitSubscribeRace exercises subscribe/cancel churn concurrent with a
+// stream of emissions. Run under -race (ci.sh does) this pins the
+// subscriber registry's locking; functionally it checks a subscriber never
+// receives events after its cancel returns.
+func TestEmitSubscribeRace(t *testing.T) {
+	stop := make(chan struct{})
+	var emitters sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		emitters.Add(1)
+		go func() {
+			defer emitters.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					Emit(Event{Kind: EventSweepPoint, Name: "churn", Done: i})
+				}
+			}
+		}()
+	}
+
+	var subscribers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		subscribers.Add(1)
+		go func() {
+			defer subscribers.Done()
+			for i := 0; i < 50; i++ {
+				var mu sync.Mutex
+				live := true
+				cancel := OnEvent(func(Event) {
+					mu.Lock()
+					if !live {
+						t.Error("subscriber invoked after cancel returned")
+					}
+					mu.Unlock()
+				})
+				cancel()
+				mu.Lock()
+				live = false
+				mu.Unlock()
+			}
+		}()
+	}
+	subscribers.Wait()
+	close(stop)
+	emitters.Wait()
+}
+
+// TestServeDebugConcurrentScrape is the flight-recorder race gate for the
+// debug endpoint: goroutines mutate metrics and emit events while several
+// readers scrape /debug/vars, so the expvar snapshot path (Registry.Snapshot
+// via the published expvar.Func) runs concurrently with every writer. Under
+// -race this fails on any unsynchronized access; functionally each scrape
+// must decode to a snapshot containing the mutating metrics.
+func TestServeDebugConcurrentScrape(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := Default().Counter("test_race_counter", "scrape-race marker")
+	hist := Default().Histogram("test_race_hist", "scrape-race histogram", []float64{1, 10, 100}, true)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					ctr.Inc()
+					hist.Observe(float64(i % 200))
+					Emit(Event{Kind: EventSweepPoint, Name: "scrape", Done: i})
+				}
+			}
+		}(g)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var readers sync.WaitGroup
+	errs := make(chan error, 3*10)
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := client.Get("http://" + addr + "/debug/vars")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var vars map[string]json.RawMessage
+				if err := json.Unmarshal(body, &vars); err != nil {
+					errs <- fmt.Errorf("scrape %d: /debug/vars not JSON under load: %w", i, err)
+					return
+				}
+				var snap Snapshot
+				if err := json.Unmarshal(vars["lva_metrics"], &snap); err != nil {
+					errs <- fmt.Errorf("scrape %d: lva_metrics not a snapshot: %w", i, err)
+					return
+				}
+				found := false
+				for _, m := range snap.Metrics {
+					if m.Name == "test_race_counter" && m.Count >= 1 {
+						found = true
+					}
+				}
+				if !found {
+					errs <- fmt.Errorf("scrape %d: snapshot missing test_race_counter", i)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

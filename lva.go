@@ -39,6 +39,7 @@ import (
 	"lva/internal/isa"
 	"lva/internal/memsim"
 	"lva/internal/obs"
+	"lva/internal/obs/attr"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/value"
@@ -235,6 +236,42 @@ func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
 func Metrics(includeVolatile bool) MetricsSnapshot {
 	return obs.Default().Snapshot(includeVolatile)
 }
+
+// AttributionSnapshot is a frozen view of the approximation flight
+// recorder: per-PC error attribution and per-epoch time-series for every
+// approximate run published since the last reset (see internal/obs/attr).
+type AttributionSnapshot = attr.Snapshot
+
+// SetAttributionEnabled toggles the approximation flight recorder. When
+// on, every approximate/LVP/prefetch run records per-site (per-PC) load,
+// miss, coverage and training-error counters plus an epoch time-series,
+// published under a deterministic scope per design point. Call it before
+// running experiments; off by default so annotated-load paths stay
+// allocation-free.
+func SetAttributionEnabled(on bool) { attr.SetEnabled(on) }
+
+// SetAttributionEpochWindow sets how many annotated loads make one
+// time-series epoch (n <= 0 disables the time-series, keeping per-site
+// attribution only). Takes effect for recorders created afterwards.
+func SetAttributionEpochWindow(n int) { attr.SetEpochWindow(n) }
+
+// Attribution snapshots every published run attribution, sorted by scope.
+func Attribution() AttributionSnapshot { return attr.TakeSnapshot() }
+
+// ResetAttribution drops every published run attribution.
+func ResetAttribution() { attr.Reset() }
+
+// StartTimeline begins capturing a Chrome trace-event run timeline of the
+// experiment engine (figure drivers, gate workers, kernel simulations and
+// run-cache hits). Render the TimelineJSON output at ui.perfetto.dev.
+func StartTimeline() { experiments.StartTimeline() }
+
+// TimelineJSON returns the events captured so far as Chrome trace-event
+// JSON; it errors when no capture is running.
+func TimelineJSON() ([]byte, error) { return experiments.TimelineJSON() }
+
+// StopTimeline ends the timeline capture session.
+func StopTimeline() { experiments.StopTimeline() }
 
 // CaptureTrace records a workload's 4-thread access trace for phase-2 replay.
 func CaptureTrace(w Workload, seed uint64) *Trace {
