@@ -1,25 +1,36 @@
 // Command lvalint runs the repository's custom static-analysis suite: the
 // determinism and validation invariants the simulator's credibility rests
 // on (seeded randomness, validated configs, documented panic contracts,
-// race-free fan-out, order-independent FP accumulation).
+// race-free fan-out, order-independent FP accumulation, map-order taint,
+// deterministic concurrency shapes, and compiler-verified hot-path
+// inlining/allocation budgets).
 //
 // Usage:
 //
 //	go run ./cmd/lvalint ./...            # lint every package
 //	go run ./cmd/lvalint ./internal/core  # lint one package
 //	go run ./cmd/lvalint -list            # describe the analyzers
+//	go run ./cmd/lvalint -json ./...      # findings as NDJSON records
+//	go run ./cmd/lvalint -gha ./...       # also emit GitHub annotations
+//	go run ./cmd/lvalint -regen-budget    # re-record the hot-path budget
 //
 // Findings print as file:line: [analyzer] message; the process exits 1 when
 // any unsuppressed finding remains and 2 on load/type errors. A finding is
 // suppressed by a `//lint:ignore <analyzer> <reason>` comment on the same
-// line or the line above.
+// line or the line above; the reason is mandatory, the analyzer name must
+// exist, and a suppression that no longer cancels anything is itself a
+// finding. Set LVALINT_SKIP=name1,name2 to disable analyzers (e.g.
+// LVALINT_SKIP=allocbudget on a toolchain the committed budget was not
+// recorded under).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"lva/internal/lint"
 )
@@ -27,6 +38,9 @@ import (
 func main() {
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
 	verbose := flag.Bool("v", false, "also print suppressed findings")
+	jsonFlag := flag.Bool("json", false, "emit findings as NDJSON records instead of text")
+	ghaFlag := flag.Bool("gha", false, "also emit GitHub Actions ::error annotations for unsuppressed findings")
+	regenBudget := flag.Bool("regen-budget", false, "re-record the hot-path inlining/escape budget from the current compiler and exit")
 	flag.Parse()
 
 	if *listFlag {
@@ -36,13 +50,44 @@ func main() {
 		return
 	}
 
-	if err := run(flag.Args(), *verbose); err != nil {
+	if *regenBudget {
+		cwd, err := os.Getwd()
+		if err == nil {
+			var modRoot string
+			modRoot, err = lint.FindModuleRoot(cwd)
+			if err == nil {
+				var path string
+				path, err = lint.RegenerateBudget(modRoot)
+				if err == nil {
+					fmt.Printf("lvalint: rewrote %s\n", path)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvalint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if err := run(flag.Args(), *verbose, *jsonFlag, *ghaFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "lvalint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, verbose bool) error {
+// jsonFinding is one NDJSON output record.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func run(patterns []string, verbose, asJSON, gha bool) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -79,17 +124,38 @@ func run(patterns []string, verbose bool) error {
 		os.Exit(2)
 	}
 
-	findings := lint.Run(loader.Fset(), pkgs, lint.Analyzers())
+	findings := lint.Run(loader.Fset(), pkgs, lint.EnabledAnalyzers())
+	enc := json.NewEncoder(os.Stdout)
 	failed := false
 	for _, f := range findings {
-		if f.Suppressed {
+		file := relPath(modRoot, f.Pos.Filename)
+		switch {
+		case asJSON:
+			if f.Suppressed && !verbose {
+				continue
+			}
+			rec := jsonFinding{
+				File: file, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+				Suppressed: f.Suppressed, Reason: f.SuppressReason,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		case f.Suppressed:
 			if verbose {
 				fmt.Printf("%s (suppressed: %s)\n", rel(modRoot, f), f.SuppressReason)
 			}
-			continue
+		default:
+			fmt.Println(rel(modRoot, f))
 		}
-		fmt.Println(rel(modRoot, f))
-		failed = true
+		if !f.Suppressed {
+			failed = true
+			if gha {
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=lvalint(%s)::%s\n",
+					file, f.Pos.Line, f.Pos.Column, f.Analyzer, ghaEscape(f.Message))
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -97,10 +163,25 @@ func run(patterns []string, verbose bool) error {
 	return nil
 }
 
+// ghaEscape encodes a message for the GitHub Actions workflow-command
+// grammar, which reserves %, CR and LF.
+func ghaEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// relPath renders one filename relative to the module root.
+func relPath(modRoot, name string) string {
+	if r, err := filepath.Rel(modRoot, name); err == nil {
+		return r
+	}
+	return name
+}
+
 // rel renders a finding with the filename relative to the module root.
 func rel(modRoot string, f lint.Finding) string {
-	if r, err := filepath.Rel(modRoot, f.Pos.Filename); err == nil {
-		f.Pos.Filename = r
-	}
+	f.Pos.Filename = relPath(modRoot, f.Pos.Filename)
 	return f.String()
 }

@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lva/internal/lint/flow"
+)
+
+// detsyncAnalyzer enforces the deterministic-concurrency discipline of the
+// experiment drivers (lva/internal/experiments) and the full-system mesh
+// (lva/internal/fullsys): parallelism must never become ordering. The
+// rules, each of which encodes a way fan-out has historically turned a
+// deterministic sweep into run-to-run noise:
+//
+//   - worker results are index-assigned into preallocated slices; a
+//     goroutine that appends to a captured slice — even under a mutex —
+//     records completion order, which varies with the scheduler.
+//   - sync.WaitGroup discipline is checked across the call graph:
+//     Add must precede the `go` statement (an Add inside the goroutine
+//     races Wait), and every goroutine that captures or receives a
+//     WaitGroup must reach Done — directly, deferred, or through a callee
+//     that (transitively) calls Done on its *sync.WaitGroup parameter.
+//   - channel delivery order is not a result order: draining a channel
+//     into an appended slice bakes scheduler timing into output; carry an
+//     index in the message and assign by index instead.
+//   - the simulator hot-path packages (memsim, cache, core, obs/attr) may
+//     not launch goroutines at all, directly or through any call chain —
+//     per-load code that forks is both a perf cliff and a determinism
+//     hazard, so the ban is enforced transitively over the flow graph.
+//
+// Test files are exempt, as is anything acknowledged with //lint:ignore.
+var detsyncAnalyzer = &Analyzer{
+	Name:       "detsync",
+	Doc:        "deterministic fan-out: index-assigned results, WaitGroup pairing across the call graph, no channel-order results, no goroutines on the hot path",
+	RunProgram: runDetsync,
+}
+
+// detsyncScopePkgs are the fan-out packages the result/WaitGroup/channel
+// rules apply to.
+var detsyncScopePkgs = map[string]bool{
+	"lva/internal/experiments": true,
+	"lva/internal/fullsys":     true,
+}
+
+// inDetsyncScope reports whether the fan-out rules police this package.
+func inDetsyncScope(path string) bool {
+	return detsyncScopePkgs[path] ||
+		(isFixturePath(path) && strings.Contains(path, "detsync") && !strings.Contains(path, "detsync_hot"))
+}
+
+// inHotBanScope reports whether the goroutine ban polices this package.
+func inHotBanScope(path string) bool {
+	return hotPathPkgs[path] || (isFixturePath(path) && strings.Contains(path, "detsync_hot"))
+}
+
+func runDetsync(p *ProgramPass) {
+	flow.ComputeEffects(p.Graph)
+	for _, fn := range p.Graph.All() {
+		if fn.Decl.Body == nil || p.InTestFile(fn.Decl.Pos()) {
+			continue
+		}
+		if inDetsyncScope(fn.Pkg.Path) {
+			checkGoroutineAppends(p, fn)
+			checkWaitGroups(p, fn)
+			checkChannelOrder(p, fn)
+		}
+		if inHotBanScope(fn.Pkg.Path) {
+			checkHotSpawns(p, fn)
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside node.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos < node.Pos() || pos > node.End()
+}
+
+// checkGoroutineAppends flags `x = append(x, ...)` inside a goroutine
+// literal when x is captured from outside: the append order is the
+// scheduler's completion order, not the work order.
+func checkGoroutineAppends(p *ProgramPass, fn *flow.Func) {
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if b, ok := info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+					continue
+				}
+				if len(call.Args) == 0 {
+					continue
+				}
+				root, ok := unwrapIdentExpr(call.Args[0])
+				if !ok {
+					continue
+				}
+				if obj := info.ObjectOf(root); obj != nil && declaredOutside(obj, lit) {
+					p.Reportf(as.Pos(), "goroutine appends worker results to captured %s: append order is the scheduler's completion order; preallocate the slice and assign by index", root.Name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// wgObjOf resolves e to a sync.WaitGroup-typed object, if any.
+func wgObjOf(info *types.Info, e ast.Expr) types.Object {
+	obj := flowRootObj(info, e)
+	if obj != nil && flow.IsWaitGroup(obj.Type()) {
+		return obj
+	}
+	return nil
+}
+
+// flowRootObj unwraps &x/(x)/x.f down to the root identifier's object.
+func flowRootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// wgMethodCall matches wg.<method>() on a WaitGroup object and returns it.
+func wgMethodCall(info *types.Info, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	return wgObjOf(info, sel.X)
+}
+
+// checkWaitGroups enforces Add-before-go / Done-inside-goroutine pairing,
+// resolving Done through *sync.WaitGroup parameters across the call graph.
+func checkWaitGroups(p *ProgramPass, fn *flow.Func) {
+	info := fn.Pkg.Info
+
+	// Pass 1: goroutine literals, Adds outside them, Waits, and every way
+	// a Done can be reached in this function (direct call, deferred, or a
+	// call that hands the WaitGroup to a transitively Done-ing callee).
+	var goLits []ast.Node
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				goLits = append(goLits, lit)
+			}
+		}
+		return true
+	})
+	insideGoLit := func(pos token.Pos) bool {
+		for _, l := range goLits {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	addsBefore := make(map[types.Object]bool)
+	donesAnywhere := make(map[types.Object]bool)
+	waitPos := make(map[types.Object]token.Pos)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wg := wgMethodCall(info, call, "Add"); wg != nil && !insideGoLit(call.Pos()) {
+			addsBefore[wg] = true
+		}
+		if wg := wgMethodCall(info, call, "Done"); wg != nil {
+			donesAnywhere[wg] = true
+		}
+		if wg := wgMethodCall(info, call, "Wait"); wg != nil {
+			if _, seen := waitPos[wg]; !seen {
+				waitPos[wg] = call.Pos()
+			}
+		}
+		for _, arg := range call.Args {
+			if wg := wgObjOf(info, arg); wg != nil && p.Graph.CallDonesWaitGroup(info, call, wg) {
+				donesAnywhere[wg] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: per-goroutine pairing. reported suppresses the coarser
+	// Add/Wait-level rule once a sharper per-launch finding exists.
+	reported := make(map[types.Object]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			checkGoroutineWG(p, fn, gs, lit, addsBefore, reported)
+			return true
+		}
+		// go worker(&wg, ...): the callee must (transitively) Done the
+		// WaitGroup it was handed.
+		for _, arg := range gs.Call.Args {
+			wg := wgObjOf(info, arg)
+			if wg == nil {
+				continue
+			}
+			if !p.Graph.CallDonesWaitGroup(info, gs.Call, wg) {
+				p.Reportf(gs.Pos(), "goroutine is handed WaitGroup %s but its target never calls Done on it (checked across the call graph): the matching Wait deadlocks or returns early", wgName(wg))
+				reported[wg] = true
+			} else if !addsBefore[wg] {
+				p.Reportf(gs.Pos(), "goroutine Dones WaitGroup %s but no Add precedes the launch in this function: pair every Done with an Add before the go statement", wgName(wg))
+				reported[wg] = true
+			}
+		}
+		return true
+	})
+
+	// Add + Wait with no Done reachable anywhere — the goroutines launched
+	// in between never signal completion, so Wait hangs. Only fires when
+	// no sharper per-launch finding already covers the WaitGroup.
+	for wg, pos := range waitPos {
+		if addsBefore[wg] && !donesAnywhere[wg] && !reported[wg] {
+			p.Reportf(pos, "WaitGroup %s is Added and Waited in this function but nothing ever calls Done on it (checked across the call graph): Wait deadlocks", wgName(wg))
+		}
+	}
+}
+
+// checkGoroutineWG checks one `go func(...){...}` against the WaitGroup
+// rules.
+func checkGoroutineWG(p *ProgramPass, fn *flow.Func, gs *ast.GoStmt, lit *ast.FuncLit, addsBefore, reported map[types.Object]bool) {
+	info := fn.Pkg.Info
+	captured := make(map[types.Object]bool) // WaitGroups referenced by the literal
+	dones := make(map[types.Object]bool)
+	addsInside := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil && flow.IsWaitGroup(obj.Type()) && declaredOutside(obj, lit) {
+				captured[obj] = true
+			}
+		case *ast.CallExpr:
+			if wg := wgMethodCall(info, n, "Add"); wg != nil && declaredOutside(wg, lit) {
+				p.Reportf(n.Pos(), "WaitGroup Add inside the goroutine races the launcher's Wait: Add before the go statement")
+				addsInside[wg] = true
+				reported[wg] = true
+			}
+			if wg := wgMethodCall(info, n, "Done"); wg != nil {
+				dones[wg] = true
+			}
+			// Forwarding the WaitGroup to a Done-ing callee counts.
+			for _, arg := range n.Args {
+				if wg := wgObjOf(info, arg); wg != nil && p.Graph.CallDonesWaitGroup(info, n, wg) {
+					dones[wg] = true
+				}
+			}
+		}
+		return true
+	})
+	for wg := range captured {
+		if !dones[wg] {
+			p.Reportf(gs.Pos(), "goroutine captures WaitGroup %s but never reaches Done (checked across the call graph): the matching Wait deadlocks", wgName(wg))
+			reported[wg] = true
+		} else if !addsBefore[wg] && !addsInside[wg] {
+			p.Reportf(gs.Pos(), "goroutine Dones WaitGroup %s but no Add precedes the launch in this function: pair every Done with an Add before the go statement", wgName(wg))
+			reported[wg] = true
+		}
+	}
+}
+
+// wgName renders the WaitGroup variable name for messages.
+func wgName(obj types.Object) string { return obj.Name() }
+
+// checkChannelOrder flags result slices built in channel delivery order:
+// inside a loop that receives from a channel, appending a received (or
+// receive-derived) value to a slice declared outside the loop.
+func checkChannelOrder(p *ProgramPass, fn *flow.Func) {
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			t := info.TypeOf(loop.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			derived := make(map[types.Object]bool)
+			if id, ok := loop.Key.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					derived[obj] = true
+				}
+			}
+			checkRecvLoopBody(p, fn, loop, loop.Body, derived)
+		case *ast.ForStmt:
+			derived := collectRecvBindings(info, loop.Body)
+			if len(derived) > 0 {
+				checkRecvLoopBody(p, fn, loop, loop.Body, derived)
+			}
+		}
+		return true
+	})
+}
+
+// collectRecvBindings finds objects bound from `<-ch` receives in a loop
+// body.
+func collectRecvBindings(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		fromRecv := false
+		for _, rhs := range as.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				fromRecv = true
+			}
+		}
+		if !fromRecv {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					derived[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// checkRecvLoopBody propagates receive-derived values through the loop
+// body's assignments and reports appends of them to slices declared
+// outside the loop.
+func checkRecvLoopBody(p *ProgramPass, fn *flow.Func, loop ast.Node, body *ast.BlockStmt, derived map[types.Object]bool) {
+	info := fn.Pkg.Info
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	// Two propagation sweeps cover the worked-example depth (pt := job;
+	// pt.X = f(job); append(out, pt)) without a full fixpoint.
+	for sweep := 0; sweep < 2; sweep++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			derivedRHS := false
+			for _, rhs := range as.Rhs {
+				if mentionsDerived(rhs) {
+					derivedRHS = true
+				}
+			}
+			if !derivedRHS {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && !declaredOutside(obj, loop) {
+						derived[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if len(call.Args) < 2 {
+				continue
+			}
+			root, ok := unwrapIdentExpr(call.Args[0])
+			if !ok {
+				continue
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil || !declaredOutside(obj, loop) {
+				continue
+			}
+			for _, el := range call.Args[1:] {
+				if mentionsDerived(el) {
+					p.Reportf(as.Pos(), "result slice %s is appended in channel delivery order, which is scheduler-dependent: carry an index in the message and assign out[i] instead", root.Name)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotSpawns bans goroutine creation on the hot path, transitively:
+// a direct `go` statement, or any call whose static target spawns one
+// somewhere in its call tree.
+func checkHotSpawns(p *ProgramPass, fn *flow.Func) {
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine launch in hot-path package %s: per-load code must not fork (determinism and inlining both die here)", fn.Pkg.Path)
+		case *ast.CallExpr:
+			callee := p.Graph.Lookup(flow.CalleeOf(info, n))
+			if callee == nil || !callee.Spawns {
+				return true
+			}
+			p.Reportf(n.Pos(), "call to %s from hot-path package %s launches goroutines (%s): per-load code must not fork", callee.Obj.Name(), fn.Pkg.Path, spawnChain(callee))
+		}
+		return true
+	})
+}
+
+// spawnChain renders a short call chain from fn to the first function
+// with a direct `go` statement, for the finding message.
+func spawnChain(fn *flow.Func) string {
+	seen := map[*flow.Func]bool{fn: true}
+	chain := []string{fn.Obj.Name()}
+	cur := fn
+	for !cur.SpawnsDirect {
+		next := (*flow.Func)(nil)
+		for _, c := range cur.Callees {
+			if c.Spawns && !seen[c] {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		seen[next] = true
+		chain = append(chain, next.Obj.Name())
+		cur = next
+	}
+	return strings.Join(chain, " -> ") + " contains `go`"
+}

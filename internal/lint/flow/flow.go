@@ -1,0 +1,385 @@
+// Package flow is lvalint's interprocedural dataflow layer. It builds a
+// static call graph over the packages the lint loader produced (bottom-up,
+// zero dependencies beyond go/ast and go/types), attaches per-function
+// effect and taint summaries, and propagates them to a fixed point so the
+// analyzers on top — mapiter, detsync — can reason across function
+// boundaries instead of one body at a time.
+//
+// The graph is deliberately conservative where Go's dynamism defeats a
+// static view: calls through function values, interface methods without a
+// resolved concrete target, and callees whose declarations were not loaded
+// all resolve to "unknown". Summaries treat unknown callees as
+// effect-free but taint-propagating, which keeps the analyzers sound for
+// the determinism properties they check (a finding is only produced when a
+// full source-to-sink chain is visible) without drowning callers in
+// speculative reports.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pkg is one loaded, type-checked package as the lint loader presents it.
+// It mirrors lint.Package structurally so the lint package can hand its
+// packages over without an import cycle.
+type Pkg struct {
+	// Path is the import path within the module.
+	Path string
+	// Files are the parsed sources, including in-package _test.go files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's resolution tables.
+	Info *types.Info
+}
+
+// Func is one node of the call graph: a declared function or method with
+// its summary bits. Function literals are attributed to their enclosing
+// declaration — a call made inside a closure is an effect of the function
+// that wrote the closure, which matches how the determinism rules think
+// about fan-out helpers.
+type Func struct {
+	// Obj is the canonical type-checker object; the graph is keyed on it,
+	// so cross-package calls unify on the shared loader's objects.
+	Obj *types.Func
+	// Decl is the syntax, always with a non-nil Name; Body may be nil for
+	// assembly/linkname stubs.
+	Decl *ast.FuncDecl
+	// Pkg is the declaring package.
+	Pkg *Pkg
+	// Callees are the statically resolved intra-graph callees, deduplicated.
+	Callees []*Func
+	// Callers is the reverse adjacency, deduplicated.
+	Callers []*Func
+
+	// Effects (filled by ComputeEffects):
+
+	// SpawnsDirect marks a `go` statement lexically inside the function
+	// (including inside its closures).
+	SpawnsDirect bool
+	// Spawns marks goroutine creation anywhere in the function's static
+	// call tree: SpawnsDirect or a callee that Spawns.
+	Spawns bool
+	// WGParamDone/WGParamAdd/WGParamWait mark, per parameter, that a
+	// *sync.WaitGroup passed in that position has Done/Add/Wait called on
+	// it, directly or through further calls.
+	WGParamDone []bool
+	WGParamAdd  []bool
+	WGParamWait []bool
+}
+
+// Graph is the whole-program view over one lint run's package set.
+type Graph struct {
+	Fset *token.FileSet
+	Pkgs []*Pkg
+	// Funcs indexes nodes by their canonical type-checker object.
+	Funcs map[*types.Func]*Func
+	// order preserves deterministic (load, then declaration) iteration.
+	order []*Func
+}
+
+// All returns every function node in deterministic declaration order.
+func (g *Graph) All() []*Func { return g.order }
+
+// Lookup returns the node for a resolved function object, or nil when its
+// declaration was not part of the loaded set.
+func (g *Graph) Lookup(obj *types.Func) *Func {
+	if obj == nil {
+		return nil
+	}
+	return g.Funcs[obj]
+}
+
+// CalleeOf statically resolves the target of a call expression to its
+// function object: direct calls, method calls (through the selection
+// table, so embedded promotions resolve), and method expressions. Calls
+// through plain function values and builtins return nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj, _ := sel.Obj().(*types.Func)
+			return obj
+		}
+		// Package-qualified call (fmt.Sprintf) or method expression.
+		obj, _ := info.Uses[fun.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// Build constructs the call graph over pkgs. Every function and method
+// declaration becomes a node; edges are the statically resolvable calls
+// appearing in its body (closures included).
+func Build(fset *token.FileSet, pkgs []*Pkg) *Graph {
+	g := &Graph{Fset: fset, Pkgs: pkgs, Funcs: make(map[*types.Func]*Func)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || obj == nil {
+					continue
+				}
+				if _, dup := g.Funcs[obj]; dup {
+					continue
+				}
+				fn := &Func{Obj: obj, Decl: fd, Pkg: pkg}
+				g.Funcs[obj] = fn
+				g.order = append(g.order, fn)
+			}
+		}
+	}
+	for _, fn := range g.order {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		seen := make(map[*Func]bool)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := g.Lookup(CalleeOf(fn.Pkg.Info, call))
+			if callee == nil || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			fn.Callees = append(fn.Callees, callee)
+			callee.Callers = append(callee.Callers, fn)
+			return true
+		})
+	}
+	return g
+}
+
+// Fixpoint repeatedly applies step to every function until one full sweep
+// reports no change, propagating facts through recursion and mutual
+// recursion. step returns true when it changed its function's summary.
+// Iteration is bounded by the lattice height of the summaries (each step
+// may only turn facts on, never off), so termination does not depend on
+// step's internals beyond monotonicity.
+func (g *Graph) Fixpoint(step func(*Func) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.order {
+			if step(fn) {
+				changed = true
+			}
+		}
+	}
+}
+
+// EnclosingFunc returns the graph node whose declaration lexically
+// contains pos, or nil.
+func (g *Graph) EnclosingFunc(pos token.Pos) *Func {
+	for _, fn := range g.order {
+		if fn.Decl.Pos() <= pos && pos <= fn.Decl.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isWGPointer reports whether t is *sync.WaitGroup.
+func isWGPointer(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// IsWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func IsWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isWGPointer(t) {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// paramIndexOf returns the index of the parameter obj in fn's signature,
+// or -1. The receiver does not count as a parameter.
+func paramIndexOf(fn *Func, obj types.Object) int {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// ComputeEffects fills the effect summaries (goroutine spawning and
+// WaitGroup discipline through *sync.WaitGroup parameters) for every
+// function and propagates them bottom-up to a fixed point.
+func ComputeEffects(g *Graph) {
+	// Seed the direct facts once.
+	for _, fn := range g.order {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		sig, _ := fn.Obj.Type().(*types.Signature)
+		np := 0
+		if sig != nil {
+			np = sig.Params().Len()
+		}
+		fn.WGParamDone = make([]bool, np)
+		fn.WGParamAdd = make([]bool, np)
+		fn.WGParamWait = make([]bool, np)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				fn.SpawnsDirect = true
+				fn.Spawns = true
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				method := sel.Sel.Name
+				if method != "Done" && method != "Add" && method != "Wait" {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := fn.Pkg.Info.ObjectOf(id)
+				if obj == nil || !IsWaitGroup(obj.Type()) {
+					return true
+				}
+				if i := paramIndexOf(fn, obj); i >= 0 {
+					switch method {
+					case "Done":
+						fn.WGParamDone[i] = true
+					case "Add":
+						fn.WGParamAdd[i] = true
+					case "Wait":
+						fn.WGParamWait[i] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Propagate: spawning is transitive through calls; WaitGroup-parameter
+	// facts flow when a parameter is forwarded to a callee position that
+	// itself Dones/Adds/Waits it.
+	g.Fixpoint(func(fn *Func) bool {
+		if fn.Decl.Body == nil {
+			return false
+		}
+		changed := false
+		for _, c := range fn.Callees {
+			if c.Spawns && !fn.Spawns {
+				fn.Spawns = true
+				changed = true
+			}
+		}
+		// Forwarded WaitGroup parameters.
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := g.Lookup(CalleeOf(fn.Pkg.Info, call))
+			if callee == nil {
+				return true
+			}
+			for ai, arg := range call.Args {
+				if ai >= len(callee.WGParamDone) {
+					break
+				}
+				obj := rootObj(fn.Pkg.Info, arg)
+				if obj == nil {
+					continue
+				}
+				pi := paramIndexOf(fn, obj)
+				if pi < 0 || !IsWaitGroup(obj.Type()) {
+					continue
+				}
+				if callee.WGParamDone[ai] && !fn.WGParamDone[pi] {
+					fn.WGParamDone[pi] = true
+					changed = true
+				}
+				if callee.WGParamAdd[ai] && !fn.WGParamAdd[pi] {
+					fn.WGParamAdd[pi] = true
+					changed = true
+				}
+				if callee.WGParamWait[ai] && !fn.WGParamWait[pi] {
+					fn.WGParamWait[pi] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		return changed
+	})
+}
+
+// CallDonesWaitGroup reports whether the call statically passes wgObj to a
+// callee that (transitively) calls Done on that parameter — the shape
+// `go worker(&wg, ...)` where worker defers wg.Done.
+func (g *Graph) CallDonesWaitGroup(info *types.Info, call *ast.CallExpr, wgObj types.Object) bool {
+	callee := g.Lookup(CalleeOf(info, call))
+	if callee == nil {
+		return false
+	}
+	for ai, arg := range call.Args {
+		if ai >= len(callee.WGParamDone) {
+			break
+		}
+		if rootObj(info, arg) == wgObj && callee.WGParamDone[ai] {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObj unwraps &x, (x), x.f, x[i] down to the root identifier's object.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// loadSrc type-checks one synthetic package and wraps it for Build.
+func loadSrc(t *testing.T, src string) (*token.FileSet, *Pkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	return fset, &Pkg{Path: "p", Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// byName indexes the graph's functions for assertions.
+func byName(g *Graph) map[string]*Func {
+	m := make(map[string]*Func)
+	for _, fn := range g.All() {
+		m[fn.Obj.Name()] = fn
+	}
+	return m
+}
+
+func hasCallee(fn, callee *Func) bool {
+	for _, c := range fn.Callees {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBuildAndEffects covers call-graph construction and the effect
+// summaries: spawn transitivity and WaitGroup-parameter Done facts flowing
+// through a forwarding hop, plus CallDonesWaitGroup at a launch site.
+func TestBuildAndEffects(t *testing.T) {
+	fset, pkg := loadSrc(t, `package p
+
+import "sync"
+
+func leaf(wg *sync.WaitGroup) { defer wg.Done() }
+
+func forward(wg *sync.WaitGroup) { leaf(wg) }
+
+func launch(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go forward(&wg)
+	}
+	wg.Wait()
+}
+
+func serial() int { return len("x") }
+`)
+	g := Build(fset, []*Pkg{pkg})
+	fns := byName(g)
+	for _, name := range []string{"leaf", "forward", "launch", "serial"} {
+		if fns[name] == nil {
+			t.Fatalf("graph is missing %s; have %d nodes", name, len(g.All()))
+		}
+	}
+	if !hasCallee(fns["forward"], fns["leaf"]) {
+		t.Errorf("forward should have callee leaf")
+	}
+	if !hasCallee(fns["launch"], fns["forward"]) {
+		t.Errorf("launch should have callee forward (via the go statement)")
+	}
+	if len(fns["serial"].Callees) != 0 {
+		t.Errorf("serial should have no callees, got %d", len(fns["serial"].Callees))
+	}
+
+	ComputeEffects(g)
+	if !fns["launch"].SpawnsDirect || !fns["launch"].Spawns {
+		t.Errorf("launch should spawn directly")
+	}
+	if fns["forward"].Spawns {
+		t.Errorf("forward does not itself spawn; the go statement belongs to launch")
+	}
+	if !fns["leaf"].WGParamDone[0] {
+		t.Errorf("leaf should Done its WaitGroup parameter")
+	}
+	if !fns["forward"].WGParamDone[0] {
+		t.Errorf("forward should inherit Done for its forwarded WaitGroup parameter")
+	}
+	if fns["forward"].WGParamWait[0] || fns["forward"].WGParamAdd[0] {
+		t.Errorf("forward neither Adds nor Waits its parameter")
+	}
+
+	// The launch site itself: go forward(&wg) must be provably Done-ing.
+	var goCall *ast.CallExpr
+	ast.Inspect(fns["launch"].Decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			goCall = gs.Call
+		}
+		return true
+	})
+	if goCall == nil {
+		t.Fatalf("no go statement found in launch")
+	}
+	wgObj := rootObj(pkg.Info, goCall.Args[0])
+	if wgObj == nil || !IsWaitGroup(wgObj.Type()) {
+		t.Fatalf("could not resolve the WaitGroup argument")
+	}
+	if !g.CallDonesWaitGroup(pkg.Info, goCall, wgObj) {
+		t.Errorf("go forward(&wg) should resolve as Done-ing wg through the call graph")
+	}
+}
+
+// TestTaintSummaries covers the order-taint engine: map-range sources,
+// summaries across function boundaries (tainted returns, parameter-to-sink
+// flows, parameter-sorting barriers), kill on barriers, and the
+// closure-return rule (a sort comparator must not taint the sorter).
+func TestTaintSummaries(t *testing.T) {
+	fset, pkg := loadSrc(t, `package p
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func sortNow(xs []string) {}
+
+func sortIdx(xs []string, less func(i, j int) bool) {}
+
+func emit(xs []string) {}
+
+func publish(m map[string]int) {
+	emit(keys(m))
+}
+
+func publishSorted(m map[string]int) {
+	ks := keys(m)
+	sortNow(ks)
+	emit(ks)
+}
+
+func forwardToSink(xs []string) { emit(xs) }
+
+func sorter(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortIdx(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func useSorter(m map[string]int) {
+	emit(sorter(m))
+}
+
+func sortParam(xs []string) { sortNow(xs) }
+`)
+	g := Build(fset, []*Pkg{pkg})
+	cfg := TaintConfig{
+		IsSink: func(f *types.Func) (string, bool) {
+			if f.Name() == "emit" {
+				return "the emit sink", true
+			}
+			return "", false
+		},
+		IsBarrier: func(f *types.Func) bool {
+			return f.Name() == "sortNow" || f.Name() == "sortIdx"
+		},
+	}
+	a, findings := runTaint(g, cfg)
+	fns := byName(g)
+
+	if sum := a.Summary(fns["keys"]); !sum.ReturnsTainted {
+		t.Errorf("keys returns map-ordered data; summary says clean")
+	}
+	if sum := a.Summary(fns["sorter"]); sum.ReturnsTainted {
+		t.Errorf("sorter sorts before returning; summary says tainted (closure return leaked into the summary?)")
+	}
+	if sum := a.Summary(fns["forwardToSink"]); sum.ParamToSink&1 == 0 {
+		t.Errorf("forwardToSink passes param 0 to a sink; summary bit missing")
+	}
+	if sum := a.Summary(fns["sortParam"]); sum.SortsParam&1 == 0 {
+		t.Errorf("sortParam sorts its parameter via sortNow; SortsParam bit missing")
+	}
+
+	wantIn := map[string]int{"publish": 1}
+	got := make(map[string]int)
+	for _, f := range findings {
+		got[f.Fn.Obj.Name()]++
+	}
+	for fn, n := range wantIn {
+		if got[fn] != n {
+			t.Errorf("want %d finding(s) in %s, got %d", n, fn, got[fn])
+		}
+	}
+	for fn, n := range got {
+		if wantIn[fn] == 0 {
+			t.Errorf("unexpected %d finding(s) in %s: %+v", n, fn, findings)
+		}
+	}
+}

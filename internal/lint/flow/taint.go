@@ -1,0 +1,644 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the order-taint analysis underneath the mapiter
+// analyzer. A value is order-tainted when the order of its elements (or
+// the order in which it was produced) derives from an unspecified-order
+// construct: iteration over a Go map or the winner of a multi-case select.
+// Taint moves forward through assignments, appends, composite literals and
+// calls; it is cleared by a recognized sort barrier. A finding is produced
+// only when an order-tainted value reaches a configured sink with the
+// whole chain statically visible — across function boundaries, per-function
+// summaries carry the three facts that matter to callers: "my result is
+// tainted", "taint on parameter i reaches my result" and "parameter i
+// reaches a sink inside me".
+
+// TaintSummary is the caller-visible behaviour of one function.
+type TaintSummary struct {
+	// ReturnsTainted marks a result whose order derives from a map/select
+	// inside the function (or transitively inside its callees),
+	// independent of the arguments.
+	ReturnsTainted bool
+	// ReturnSrc describes the source for ReturnsTainted findings.
+	ReturnSrc string
+	// ParamToResult is a bitmask: result order-tainted when argument i is.
+	ParamToResult uint64
+	// ParamToSink is a bitmask: argument i flows into an ordering-
+	// sensitive sink inside the function without a sort barrier.
+	ParamToSink uint64
+	// SinkDesc describes (for messages) the sink behind ParamToSink.
+	SinkDesc string
+	// SortsParam is a bitmask: argument i is passed through a sort barrier
+	// inside the function, so the caller's value is ordered afterwards.
+	SortsParam uint64
+}
+
+// TaintConfig parameterizes the analysis with the analyzer's notion of
+// sinks and barriers.
+type TaintConfig struct {
+	// IsSink classifies a resolved callee as ordering-sensitive; desc is
+	// used in the finding message ("figure table", "hash", ...).
+	IsSink func(callee *types.Func) (desc string, ok bool)
+	// IsBarrier classifies a resolved callee as a sort barrier for its
+	// first argument (sort.Slice, slices.Sort, ...).
+	IsBarrier func(callee *types.Func) bool
+	// SkipFindings suppresses findings (not summaries) for a function —
+	// test files still contribute summaries but do not report.
+	SkipFindings func(fn *Func) bool
+}
+
+// TaintFinding is one source-to-sink chain.
+type TaintFinding struct {
+	// Pos is the sink call site.
+	Pos token.Pos
+	// Fn encloses the sink call.
+	Fn *Func
+	// SinkDesc names what the value flowed into.
+	SinkDesc string
+	// Src describes the order source ("range over map", "multi-case
+	// select receive", or a callee chain).
+	Src string
+	// SrcPos is the source position when it is in the same function.
+	SrcPos token.Pos
+}
+
+// taintVal is the abstract value: which real sources and which enclosing-
+// function parameters the expression's order derives from.
+type taintVal struct {
+	real   bool
+	params uint64
+	src    string
+	srcPos token.Pos
+}
+
+func (t taintVal) empty() bool { return !t.real && t.params == 0 }
+
+func (t taintVal) union(o taintVal) taintVal {
+	out := t
+	out.params |= o.params
+	if o.real && !t.real {
+		out.real, out.src, out.srcPos = true, o.src, o.srcPos
+	}
+	return out
+}
+
+// ref addresses a storage location precisely enough for the analysis: the
+// root object plus a field path ("" for the variable itself, ".Scopes"
+// for a field). Index expressions collapse onto their container, so
+// element reads inherit container taint and sorts of x clear x[i] chains.
+type ref struct {
+	obj  types.Object
+	path string
+}
+
+// AnalyzeTaint runs the analysis over the graph: summaries to a fixed
+// point first, then one reporting pass that records sink findings.
+func AnalyzeTaint(g *Graph, cfg TaintConfig) []TaintFinding {
+	_, findings := runTaint(g, cfg)
+	return findings
+}
+
+// runTaint is AnalyzeTaint with the analysis object kept, so tests can
+// assert on the per-function summaries behind the findings.
+func runTaint(g *Graph, cfg TaintConfig) (*taintAnalysis, []TaintFinding) {
+	a := &taintAnalysis{g: g, cfg: cfg, sums: make(map[*Func]*TaintSummary, len(g.order))}
+	for _, fn := range g.order {
+		a.sums[fn] = &TaintSummary{}
+	}
+	g.Fixpoint(func(fn *Func) bool { return a.analyze(fn, nil) })
+	var findings []TaintFinding
+	for _, fn := range g.order {
+		if cfg.SkipFindings != nil && cfg.SkipFindings(fn) {
+			continue
+		}
+		a.analyze(fn, &findings)
+	}
+	return a, findings
+}
+
+// Summary exposes a function's fixed-point summary (for tests).
+func (a *taintAnalysis) Summary(fn *Func) *TaintSummary { return a.sums[fn] }
+
+type taintAnalysis struct {
+	g    *Graph
+	cfg  TaintConfig
+	sums map[*Func]*TaintSummary
+}
+
+// analyze runs one forward pass over fn's body. With findings == nil it
+// only grows the summary (fixpoint mode) and reports whether it changed;
+// otherwise it appends sink findings.
+func (a *taintAnalysis) analyze(fn *Func, findings *[]TaintFinding) bool {
+	if fn.Decl.Body == nil {
+		return false
+	}
+	sum := a.sums[fn]
+	before := *sum
+	st := &state{a: a, fn: fn, sum: sum, env: make(map[ref]taintVal), findings: findings}
+	// Seed parameters with their bit so flows to returns/sinks surface in
+	// the summary. 64 parameters is beyond any signature in this module.
+	if sig, ok := fn.Obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len() && i < 64; i++ {
+			p := sig.Params().At(i)
+			st.env[ref{p, ""}] = taintVal{params: 1 << uint(i)}
+		}
+	}
+	st.block(fn.Decl.Body)
+	return *sum != before
+}
+
+type state struct {
+	a        *taintAnalysis
+	fn       *Func
+	sum      *TaintSummary
+	env      map[ref]taintVal
+	findings *[]TaintFinding
+	// litDepth counts enclosing function literals: a `return` inside a
+	// closure returns from the closure, not from fn, so it must not feed
+	// fn's return summary (a sort comparator's `return xs[i] < xs[j]`
+	// would otherwise mark the sorter itself as returning tainted data).
+	litDepth int
+}
+
+func (s *state) info() *types.Info { return s.fn.Pkg.Info }
+
+// refOf resolves an assignable expression to its storage ref.
+func (s *state) refOf(e ast.Expr) (ref, bool) {
+	path := ""
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := s.info().ObjectOf(x)
+			if obj == nil {
+				return ref{}, false
+			}
+			return ref{obj, path}, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return ref{}, false
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.IndexExpr:
+			// Collapse elements onto their container.
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ref{}, false
+		}
+	}
+}
+
+// lookup reads the taint of a ref, falling back to whole-variable taint
+// for field paths.
+func (s *state) lookup(r ref) taintVal {
+	if t, ok := s.env[r]; ok {
+		return t
+	}
+	if r.path != "" {
+		if t, ok := s.env[ref{r.obj, ""}]; ok {
+			return t
+		}
+	}
+	return taintVal{}
+}
+
+// set writes (or kills) the taint of an assignable expression.
+func (s *state) set(lhs ast.Expr, t taintVal) {
+	// Keyed/indexed stores do not define the container's order: inserting
+	// a map-ordered value into m[k] or out[i] is order-insensitive.
+	if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+		return
+	}
+	r, ok := s.refOf(lhs)
+	if !ok {
+		return
+	}
+	if t.empty() {
+		delete(s.env, r)
+		return
+	}
+	s.env[r] = t
+}
+
+// kill clears taint for the expression's ref (sort barrier applied).
+func (s *state) kill(e ast.Expr) {
+	// sort.Sort(byName(xs)) sorts xs through a conversion: unwrap it.
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := s.info().Types[call.Fun]; ok && tv.IsType() {
+			e = call.Args[0]
+		}
+	}
+	if r, ok := s.refOf(e); ok {
+		delete(s.env, r)
+		// A sort of the whole variable also orders any tracked field.
+		if r.path == "" {
+			for k := range s.env {
+				if k.obj == r.obj {
+					delete(s.env, k)
+				}
+			}
+		}
+	}
+}
+
+// eval computes the taint of an expression, emitting findings/summary
+// facts for any sink calls inside it.
+func (s *state) eval(e ast.Expr) taintVal {
+	switch x := e.(type) {
+	case nil:
+		return taintVal{}
+	case *ast.Ident:
+		return s.lookup(ref{s.info().ObjectOf(x), ""})
+	case *ast.ParenExpr:
+		return s.eval(x.X)
+	case *ast.StarExpr:
+		return s.eval(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			// Plain channel receive: not an order source for mapiter
+			// (detsync owns channel-order rules); taint does not flow
+			// through a channel element here.
+			return taintVal{}
+		}
+		return s.eval(x.X)
+	case *ast.BinaryExpr:
+		return s.eval(x.X).union(s.eval(x.Y))
+	case *ast.SelectorExpr:
+		if r, ok := s.refOf(x); ok {
+			return s.lookup(r)
+		}
+		return s.eval(x.X)
+	case *ast.IndexExpr:
+		return s.eval(x.X).union(s.eval(x.Index))
+	case *ast.SliceExpr:
+		return s.eval(x.X)
+	case *ast.TypeAssertExpr:
+		return s.eval(x.X)
+	case *ast.CompositeLit:
+		var t taintVal
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.union(s.eval(kv.Value))
+				continue
+			}
+			t = t.union(s.eval(el))
+		}
+		return t
+	case *ast.KeyValueExpr:
+		return s.eval(x.Value)
+	case *ast.FuncLit:
+		// The closure body is walked in place: its effects (sorts, sinks)
+		// belong to the writer of the literal. Its returns do not — see
+		// litDepth.
+		s.litDepth++
+		s.block(x.Body)
+		s.litDepth--
+		return taintVal{}
+	case *ast.CallExpr:
+		return s.call(x)
+	}
+	return taintVal{}
+}
+
+// call models one call expression: builtins, barriers, summarized
+// intra-graph callees, configured sinks, and conservative propagation
+// through everything unknown.
+func (s *state) call(call *ast.CallExpr) taintVal {
+	// Builtins first: append propagates (append order is producer order);
+	// size/bookkeeping builtins do not carry order.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.info().ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				var t taintVal
+				for _, arg := range call.Args {
+					t = t.union(s.eval(arg))
+				}
+				return t
+			case "len", "cap", "delete", "clear", "print", "println", "min", "max", "make", "new":
+				for _, arg := range call.Args {
+					s.eval(arg) // still walk for nested calls/literals
+				}
+				return taintVal{}
+			}
+		}
+	}
+	// A type conversion T(x) keeps x's order.
+	if tv, ok := s.info().Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.eval(call.Args[0])
+		}
+		return taintVal{}
+	}
+
+	argT := make([]taintVal, len(call.Args))
+	for i, arg := range call.Args {
+		argT[i] = s.eval(arg)
+	}
+
+	callee := CalleeOf(s.info(), call)
+	if callee == nil {
+		// Call through a function value: propagate conservatively.
+		var t taintVal
+		for _, at := range argT {
+			t = t.union(at)
+		}
+		return t
+	}
+
+	if s.a.cfg.IsBarrier != nil && s.a.cfg.IsBarrier(callee) {
+		if len(call.Args) > 0 {
+			// Sorting a parameter is a caller-visible barrier: record it
+			// so callers clear their argument after calling us.
+			s.sum.SortsParam |= argT[0].params
+			s.kill(call.Args[0])
+		}
+		return taintVal{}
+	}
+
+	if s.a.cfg.IsSink != nil {
+		if desc, ok := s.a.cfg.IsSink(callee); ok {
+			for _, at := range argT {
+				s.sinkHit(call.Pos(), desc, at)
+			}
+			return taintVal{}
+		}
+	}
+
+	if node := s.a.g.Lookup(callee); node != nil {
+		csum := s.a.sums[node]
+		var t taintVal
+		if csum.ReturnsTainted {
+			src := csum.ReturnSrc
+			if src == "" {
+				src = "call to " + callee.Name()
+			}
+			t = t.union(taintVal{real: true, src: src, srcPos: call.Pos()})
+		}
+		for i, at := range argT {
+			if i >= 64 {
+				break
+			}
+			bit := uint64(1) << uint(i)
+			if csum.ParamToSink&bit != 0 {
+				desc := csum.SinkDesc
+				if desc == "" {
+					desc = callee.Name()
+				}
+				s.sinkHit(call.Pos(), desc+" (via "+callee.Name()+")", at)
+			}
+			if csum.ParamToResult&bit != 0 {
+				t = t.union(at)
+			}
+			if csum.SortsParam&bit != 0 {
+				s.sum.SortsParam |= at.params
+				s.kill(call.Args[i])
+			}
+		}
+		return t
+	}
+
+	// Unknown extra-graph callee (stdlib, unloaded package): assume it
+	// propagates order from arguments and receiver to its result.
+	var t taintVal
+	for _, at := range argT {
+		t = t.union(at)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		t = t.union(s.eval(sel.X))
+	}
+	return t
+}
+
+// sinkHit records an order-tainted value reaching a sink: a finding when
+// the taint has a real source, a summary bit when it rides a parameter.
+func (s *state) sinkHit(pos token.Pos, desc string, t taintVal) {
+	if t.real && s.findings != nil {
+		*s.findings = append(*s.findings, TaintFinding{
+			Pos: pos, Fn: s.fn, SinkDesc: desc, Src: t.src, SrcPos: t.srcPos,
+		})
+	}
+	if t.params != 0 {
+		s.sum.ParamToSink |= t.params
+		if s.sum.SinkDesc == "" {
+			s.sum.SinkDesc = desc
+		}
+	}
+}
+
+// block walks statements in source order.
+func (s *state) block(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		s.stmt(stmt)
+	}
+}
+
+func (s *state) stmt(stmt ast.Stmt) {
+	switch x := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.block(x)
+	case *ast.ExprStmt:
+		s.eval(x.X)
+	case *ast.AssignStmt:
+		s.assign(x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t taintVal
+					if len(vs.Values) == len(vs.Names) {
+						t = s.eval(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						t = s.eval(vs.Values[0])
+					}
+					s.set(name, t)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		results := x.Results
+		if len(results) == 0 {
+			// Bare return of named results: read their current taint.
+			if ft := s.fn.Decl.Type; ft.Results != nil {
+				for _, f := range ft.Results.List {
+					for _, name := range f.Names {
+						s.recordReturn(s.lookup(ref{s.info().ObjectOf(name), ""}))
+					}
+				}
+			}
+			return
+		}
+		for _, r := range results {
+			s.recordReturn(s.eval(r))
+		}
+	case *ast.IfStmt:
+		s.stmt(x.Init)
+		s.eval(x.Cond)
+		s.block(x.Body)
+		s.stmt(x.Else)
+	case *ast.ForStmt:
+		s.stmt(x.Init)
+		s.eval(x.Cond)
+		s.block(x.Body)
+		s.stmt(x.Post)
+	case *ast.RangeStmt:
+		s.rangeStmt(x)
+	case *ast.SelectStmt:
+		s.selectStmt(x)
+	case *ast.SwitchStmt:
+		s.stmt(x.Init)
+		s.eval(x.Tag)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.eval(e)
+				}
+				for _, st := range cc.Body {
+					s.stmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(x.Init)
+		s.stmt(x.Assign)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					s.stmt(st)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		s.eval(x.Call)
+	case *ast.DeferStmt:
+		s.eval(x.Call)
+	case *ast.SendStmt:
+		s.eval(x.Chan)
+		s.eval(x.Value)
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt)
+	case *ast.IncDecStmt:
+		s.eval(x.X)
+	}
+}
+
+func (s *state) recordReturn(t taintVal) {
+	if s.litDepth > 0 {
+		return // a closure's return is not fn's return
+	}
+	if t.real && !s.sum.ReturnsTainted {
+		s.sum.ReturnsTainted = true
+		s.sum.ReturnSrc = t.src
+	}
+	s.sum.ParamToResult |= t.params
+}
+
+func (s *state) assign(x *ast.AssignStmt) {
+	if x.Tok != token.ASSIGN && x.Tok != token.DEFINE && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+		// Compound assignment is an accumulator fold. Over numbers the
+		// fold commutes — `total += n` yields the same total in any
+		// iteration order, and float rounding order is detfloat's beat —
+		// so map order cannot reach the result and no taint propagates.
+		// String += is concatenation, which records the order itself.
+		rt := s.eval(x.Rhs[0])
+		if lt := s.info().TypeOf(x.Lhs[0]); lt != nil {
+			if basic, ok := lt.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				s.set(x.Lhs[0], s.eval(x.Lhs[0]).union(rt))
+			}
+		}
+		return
+	}
+	if len(x.Lhs) == len(x.Rhs) {
+		ts := make([]taintVal, len(x.Rhs))
+		for i, r := range x.Rhs {
+			ts[i] = s.eval(r)
+		}
+		for i, l := range x.Lhs {
+			s.set(l, ts[i])
+		}
+		return
+	}
+	// x, y := f() — every lhs inherits the call's taint.
+	var t taintVal
+	for _, r := range x.Rhs {
+		t = t.union(s.eval(r))
+	}
+	for _, l := range x.Lhs {
+		s.set(l, t)
+	}
+}
+
+// rangeStmt handles the primary taint source: ranging over a map binds the
+// key and value variables to map iteration order. Ranging over an ordered
+// container hands its (possibly tainted) order to the value variable.
+func (s *state) rangeStmt(x *ast.RangeStmt) {
+	contT := s.eval(x.X)
+	xt := s.info().TypeOf(x.X)
+	if xt != nil {
+		if _, isMap := xt.Underlying().(*types.Map); isMap {
+			t := taintVal{real: true, src: "iteration order of a map", srcPos: x.Pos()}
+			if x.Key != nil {
+				s.set(x.Key, t)
+			}
+			if x.Value != nil {
+				s.set(x.Value, t)
+			}
+			s.block(x.Body)
+			return
+		}
+	}
+	if x.Key != nil {
+		s.set(x.Key, taintVal{})
+	}
+	if x.Value != nil {
+		s.set(x.Value, contT)
+	}
+	s.block(x.Body)
+}
+
+// selectStmt taints values received in a select with two or more ready
+// cases: which case wins is scheduler-dependent, so downstream ordering
+// built from the winners is nondeterministic.
+func (s *state) selectStmt(x *ast.SelectStmt) {
+	comm := 0
+	for _, c := range x.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	for _, c := range x.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok && comm >= 2 {
+			t := taintVal{real: true, src: "multi-case select receive", srcPos: cc.Pos()}
+			for _, l := range as.Lhs {
+				s.set(l, t)
+			}
+		} else if cc.Comm != nil {
+			s.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			s.stmt(st)
+		}
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"sort"
 	"strings"
+
+	"lva/internal/lint/flow"
 )
 
 // Finding is one analyzer diagnostic.
@@ -24,14 +27,21 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. An analyzer is per-package (Run),
+// whole-program (RunProgram, with the interprocedural flow graph), or —
+// rarely — both.
 type Analyzer struct {
 	// Name is the id used in reports and //lint:ignore comments.
 	Name string
 	// Doc is a one-line description for the driver's usage text.
 	Doc string
-	// Run inspects a package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
+	// May be nil for whole-program analyzers.
 	Run func(*Pass)
+	// RunProgram inspects the entire loaded package set at once, with the
+	// flow call graph available; it runs after every per-package pass.
+	// May be nil for per-package analyzers.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one (package, analyzer) execution.
@@ -56,6 +66,40 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ProgramPass carries one whole-program analyzer execution: every loaded
+// package plus the interprocedural flow graph built over them.
+type ProgramPass struct {
+	Pkgs     []*Package
+	Fset     *token.FileSet
+	Graph    *flow.Graph
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// flowPkgs converts the lint loader's packages to the flow package's
+// structural mirror.
+func flowPkgs(pkgs []*Package) []*flow.Pkg {
+	out := make([]*flow.Pkg, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = &flow.Pkg{Path: p.Path, Files: p.Files, Types: p.Types, Info: p.Info}
+	}
+	return out
+}
+
 // isFixturePath reports whether the package is a lint test fixture; fixtures
 // opt in to every analyzer regardless of its normal package scope.
 func isFixturePath(path string) bool {
@@ -78,7 +122,32 @@ func Analyzers() []*Analyzer {
 		detfloatAnalyzer,
 		obshooksAnalyzer,
 		hotpathAnalyzer,
+		mapiterAnalyzer,
+		detsyncAnalyzer,
+		allocbudgetAnalyzer,
 	}
+}
+
+// EnabledAnalyzers returns the suite minus the comma-separated names in
+// the LVALINT_SKIP environment variable. The escape hatch exists for
+// analyzers tied to toolchain specifics — allocbudget asserts compiler
+// inlining/escape diagnostics, which shift across Go releases — so a
+// machine on a different compiler can keep the rest of the gate green
+// (e.g. LVALINT_SKIP=allocbudget).
+func EnabledAnalyzers() []*Analyzer {
+	skip := make(map[string]bool)
+	for _, name := range strings.Split(os.Getenv("LVALINT_SKIP"), ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skip[name] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // AnalyzerByName returns the named analyzer or nil.
@@ -95,6 +164,7 @@ func AnalyzerByName(name string) *Analyzer {
 type suppression struct {
 	analyzer string // specific analyzer name or "all"
 	reason   string
+	pos      token.Position
 	used     bool
 }
 
@@ -106,9 +176,12 @@ type suppressionKey struct {
 
 // collectSuppressions parses //lint:ignore <analyzer> <reason> comments.
 // A suppression cancels matching findings on its own line and on the line
-// immediately below (so it can trail a statement or precede one). Malformed
-// comments (missing reason) are reported as findings of the "lint" pseudo
-// analyzer so they cannot silently disable checks.
+// immediately below (so it can trail a statement or precede one). A
+// suppression must carry both a known analyzer name and a non-empty
+// justification: a bare `//lint:ignore <analyzer>`, a reason with no
+// recognized analyzer in front of it, or a typo'd analyzer name is itself
+// reported as a finding of the "lint" pseudo analyzer — malformed
+// suppressions must never silently disable checks.
 func collectSuppressions(fset *token.FileSet, pkgs []*Package) (map[suppressionKey]*suppression, []Finding) {
 	sups := make(map[suppressionKey]*suppression)
 	var malformed []Finding
@@ -120,17 +193,28 @@ func collectSuppressions(fset *token.FileSet, pkgs []*Package) (map[suppressionK
 					if !ok {
 						continue
 					}
+					if text != "" && text[0] != ' ' && text[0] != '\t' {
+						continue // some other //lint:ignoreXYZ directive, not ours
+					}
 					fields := strings.Fields(text)
 					pos := fset.Position(c.Pos())
 					if len(fields) < 2 {
 						malformed = append(malformed, Finding{
 							Analyzer: "lint",
 							Pos:      pos,
-							Message:  "malformed //lint:ignore: need an analyzer name and a reason",
+							Message:  "malformed //lint:ignore: need an analyzer name followed by a non-empty reason",
 						})
 						continue
 					}
-					s := &suppression{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+					if fields[0] != "all" && AnalyzerByName(fields[0]) == nil {
+						malformed = append(malformed, Finding{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q: a typo here would silently disable nothing while looking safe", fields[0]),
+						})
+						continue
+					}
+					s := &suppression{analyzer: fields[0], reason: strings.Join(fields[1:], " "), pos: pos}
 					sups[suppressionKey{pos.Filename, pos.Line}] = s
 				}
 			}
@@ -141,14 +225,30 @@ func collectSuppressions(fset *token.FileSet, pkgs []*Package) (map[suppressionK
 
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppressions and returns all findings (suppressed ones included, marked)
-// sorted by position.
+// sorted by position. Per-package analyzers run first; whole-program
+// analyzers then share one interprocedural flow graph built over the full
+// package set. A suppression whose analyzer ran but cancelled nothing is
+// reported as stale, so suppressions cannot outlive the code they excuse.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, Fset: fset, analyzer: a, findings: &findings}
 			a.Run(pass)
 		}
+	}
+	var graph *flow.Graph
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if graph == nil {
+			graph = flow.Build(fset, flowPkgs(pkgs))
+		}
+		a.RunProgram(&ProgramPass{Pkgs: pkgs, Fset: fset, Graph: graph, analyzer: a, findings: &findings})
 	}
 	sups, malformed := collectSuppressions(fset, pkgs)
 	for i := range findings {
@@ -164,6 +264,22 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding 
 		}
 	}
 	findings = append(findings, malformed...)
+	// A named suppression whose analyzer ran in this pass but matched no
+	// finding is stale: the code it excused is gone (or never tripped),
+	// and keeping it around masks future regressions on that line.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, s := range sups {
+		if !s.used && s.analyzer != "all" && ran[s.analyzer] {
+			findings = append(findings, Finding{
+				Analyzer: "lint",
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("stale //lint:ignore %s: the analyzer reports nothing here; delete the suppression", s.analyzer),
+			})
+		}
+	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -102,10 +103,21 @@ func TestFixtures(t *testing.T) {
 		{"obshooks_attr_good", "obshooks", false},
 		{"hotpath_bad", "hotpath", true},
 		{"hotpath_good", "hotpath", false},
+		{"mapiter_bad", "mapiter", true},
+		{"mapiter_good", "mapiter", false},
+		{"detsync_bad", "detsync", true},
+		{"detsync_good", "detsync", false},
+		{"detsync_hot_bad", "detsync", true},
+		{"detsync_hot_good", "detsync", false},
+		{"allocbudget_bad", "allocbudget", true},
+		{"allocbudget_good", "allocbudget", false},
 	}
 	l := testLoader(t)
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
+			if tc.analyzer == "allocbudget" && !allocbudgetToolchainMatches(t, l) {
+				t.Skipf("budget recorded under a different Go release; allocbudget skips itself")
+			}
 			a := AnalyzerByName(tc.analyzer)
 			if a == nil {
 				t.Fatalf("no analyzer named %q", tc.analyzer)
@@ -141,6 +153,18 @@ func TestFixtures(t *testing.T) {
 			}
 		})
 	}
+}
+
+// allocbudgetToolchainMatches reports whether the committed budget was
+// recorded under the running Go release; when it was not, the analyzer
+// deliberately no-ops and its fixtures cannot fire.
+func allocbudgetToolchainMatches(t *testing.T, l *Loader) bool {
+	t.Helper()
+	budget, _, err := loadBudget(l.ModDir())
+	if err != nil {
+		t.Fatalf("loading budget: %v", err)
+	}
+	return budget.Go == goRelease(runtime.Version())
 }
 
 // TestSuppression checks the //lint:ignore mechanism end to end: valid
@@ -184,9 +208,39 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestSuppressionHygiene checks the rules that keep //lint:ignore honest
+// beyond the malformed case: a suppression whose analyzer ran but matched
+// nothing is reported stale, and a typo'd analyzer name is reported
+// instead of silently suppressing nothing.
+func TestSuppressionHygiene(t *testing.T) {
+	l := testLoader(t)
+	pkg := loadFixture(t, l, "suppressed_stale")
+	var stale, unknown, other []Finding
+	for _, f := range Unsuppressed(Run(l.Fset(), []*Package{pkg}, Analyzers())) {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "stale"):
+			stale = append(stale, f)
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "unknown analyzer"):
+			unknown = append(unknown, f)
+		default:
+			other = append(other, f)
+		}
+	}
+	if len(stale) != 1 {
+		t.Errorf("want 1 stale-suppression finding, got %d: %v", len(stale), stale)
+	}
+	if len(unknown) != 1 {
+		t.Errorf("want 1 unknown-analyzer finding, got %d: %v", len(unknown), unknown)
+	}
+	if len(other) != 0 {
+		t.Errorf("unexpected findings in hygiene fixture: %v", other)
+	}
+}
+
 // TestSelfClean is the gate future PRs must keep green: the full analyzer
 // suite over every package in the repository reports zero unsuppressed
-// findings.
+// findings. EnabledAnalyzers honors LVALINT_SKIP, mirroring what ci.sh
+// actually runs on machines whose toolchain cannot satisfy allocbudget.
 func TestSelfClean(t *testing.T) {
 	l := testLoader(t)
 	dirs, err := ExpandPatterns(l.ModDir(), []string{"./..."})
@@ -207,7 +261,7 @@ func TestSelfClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("expected to load the whole repo, got only %d packages", len(pkgs))
 	}
-	for _, f := range Unsuppressed(Run(l.Fset(), pkgs, Analyzers())) {
+	for _, f := range Unsuppressed(Run(l.Fset(), pkgs, EnabledAnalyzers())) {
 		t.Errorf("unsuppressed finding: %s", f)
 	}
 }

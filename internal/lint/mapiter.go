@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+
+	"lva/internal/lint/flow"
+)
+
+// mapiterAnalyzer is the interprocedural successor to detfloat's narrow
+// float-accumulation rule: it taints every value whose *order* derives
+// from ranging over a Go map (or from whichever case wins a multi-case
+// select) and reports when such a value reaches an ordering-sensitive
+// sink — figure rendering, hashing, a Snapshot/Publish call — without
+// passing through a recognized sort barrier first. Byte-identical output
+// at any parallelism is the repo's core guarantee; an unsorted map-range
+// feeding a figure writer is precisely the bug class that breaks it one
+// run in twenty.
+//
+// The analysis is flow-assisted (see lva/internal/lint/flow): helpers that
+// return map-ordered slices, forward a parameter to a sink, or sort their
+// argument in place are summarized, so the source, the sink and the sort
+// may live in three different functions and the verdict is still exact.
+// Sort barriers are the sort package, the slices package's Sort* family,
+// and any summarized intra-repo function that passes its parameter into
+// one of those.
+//
+// Test files are exempt, as is anything acknowledged with //lint:ignore.
+var mapiterAnalyzer = &Analyzer{
+	Name:       "mapiter",
+	Doc:        "map-iteration-ordered values must pass a sort barrier before reaching rendering, hashing, Snapshot/Publish or other ordering-sensitive sinks",
+	RunProgram: runMapiter,
+}
+
+// mapiterSinkNames are callee names treated as ordering-sensitive
+// regardless of package: the repo's publication seams plus the formatted
+// writers figures render through.
+var mapiterSinkNames = map[string]string{
+	"Snapshot":      "a deterministic snapshot",
+	"TakeSnapshot":  "a deterministic snapshot",
+	"Publish":       "a published result",
+	"AddRow":        "a figure table row",
+	"NewTable":      "a figure table",
+	"Fprintf":       "formatted output",
+	"Fprintln":      "formatted output",
+	"Fprint":        "formatted output",
+	"WriteString":   "rendered output",
+	"Marshal":       "an encoded snapshot",
+	"MarshalIndent": "an encoded snapshot",
+	"Encode":        "an encoded snapshot",
+}
+
+// mapiterHashPkgs are package-path prefixes whose calls are hashing sinks:
+// feeding map-ordered bytes to a hash makes golden-figure hashes flap.
+var mapiterHashPkgs = []string{"hash", "crypto"}
+
+// mapiterIsSink classifies a resolved callee.
+func mapiterIsSink(callee *types.Func) (string, bool) {
+	if pkg := callee.Pkg(); pkg != nil {
+		for _, prefix := range mapiterHashPkgs {
+			if pkg.Path() == prefix || strings.HasPrefix(pkg.Path(), prefix+"/") {
+				return "a hash (" + pkg.Path() + "." + callee.Name() + ")", true
+			}
+		}
+	}
+	if desc, ok := mapiterSinkNames[callee.Name()]; ok {
+		return desc, true
+	}
+	return "", false
+}
+
+// mapiterIsBarrier recognizes in-place sorts: the sort package wholesale
+// and the slices package's Sort family. Intra-repo helpers that sort a
+// parameter are recognized through their flow summary instead.
+func mapiterIsBarrier(callee *types.Func) bool {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(callee.Name(), "Sort")
+	}
+	return false
+}
+
+func runMapiter(p *ProgramPass) {
+	findings := flow.AnalyzeTaint(p.Graph, flow.TaintConfig{
+		IsSink:    mapiterIsSink,
+		IsBarrier: mapiterIsBarrier,
+		SkipFindings: func(fn *flow.Func) bool {
+			return p.InTestFile(fn.Decl.Pos())
+		},
+	})
+	for _, f := range findings {
+		p.Reportf(f.Pos, "value ordered by %s flows into %s without a sort barrier: order it (sort.Slice / slices.Sort) before it becomes output", f.Src, f.SinkDesc)
+	}
+}

@@ -1,0 +1,26 @@
+// Package allocbudget_bad breaks its committed hot-path budget: a fmt
+// call pushes Bump past its inline-cost ceiling and makes its argument
+// escape, and Leak returns the address of a local.
+package allocbudget_bad
+
+import "fmt"
+
+// Counter is a hot-path-shaped accumulator with a logging habit.
+type Counter struct {
+	n   int
+	log []string
+}
+
+// Bump is budgeted inlinable and allocation-free, but the fmt call blows
+// both: formatting costs more than the ceiling and tag escapes into the
+// ... argument slice.
+func (c *Counter) Bump(tag string) { // want:allocbudget
+	c.log = append(c.log, fmt.Sprintf("bump %s", tag))
+	c.n++
+}
+
+// Leak is budgeted noEscape, but returning &x moves x to the heap.
+func Leak(n int) *int { // want:allocbudget
+	x := n * 2
+	return &x
+}

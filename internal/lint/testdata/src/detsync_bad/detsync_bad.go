@@ -1,0 +1,89 @@
+// Package detsync_bad holds fan-out shapes that turn scheduling into
+// ordering: appended worker results, broken WaitGroup pairing, and result
+// slices built in channel delivery order.
+package detsync_bad
+
+import "sync"
+
+// GatherAppend collects worker results by appending under a mutex: the
+// slice order is the goroutines' completion order.
+func GatherAppend(jobs []int) []int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var out []int
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := j * j
+			mu.Lock()
+			out = append(out, v) // want:detsync
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// AddInside moves the Add into the goroutine, racing the Wait below: Wait
+// can observe the counter at zero before any worker has registered.
+func AddInside(jobs []int, out []int) {
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		go func() {
+			wg.Add(1) // want:detsync
+			defer wg.Done()
+			out[i] = j * j
+		}()
+	}
+	wg.Wait()
+}
+
+// MissingDone Adds and Waits but nothing ever Dones: Wait deadlocks.
+func MissingDone(jobs []int, out []int) {
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			out[i] = j * j
+		}()
+	}
+	wg.Wait() // want:detsync
+}
+
+// worker computes one job but never touches its WaitGroup argument.
+func worker(wg *sync.WaitGroup, out []int, i, j int) {
+	out[i] = j * j
+}
+
+// HandOffNoDone launches a named worker that is handed the WaitGroup but
+// never Dones it, checked through the call graph.
+func HandOffNoDone(jobs []int, out []int) {
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go worker(&wg, out, i, j) // want:detsync
+	}
+	wg.Wait()
+}
+
+// DrainOrder builds the result slice in channel delivery order, which is
+// whatever order the workers happened to finish in.
+func DrainOrder(results chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		v := <-results
+		out = append(out, v) // want:detsync
+	}
+	return out
+}
+
+// RangeDrain is the range-over-channel spelling of the same bug.
+func RangeDrain(results chan int) []int {
+	var out []int
+	for v := range results {
+		scaled := v * 10
+		out = append(out, scaled) // want:detsync
+	}
+	return out
+}

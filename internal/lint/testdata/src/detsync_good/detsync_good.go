@@ -1,0 +1,74 @@
+// Package detsync_good holds the blessed fan-out shapes: preallocated
+// index-assigned results, Add-before-go with deferred Done (directly or
+// through a handed-off worker), and channel messages that carry their own
+// index.
+package detsync_good
+
+import "sync"
+
+// GatherIndexed is the canonical deterministic fan-out: every worker owns
+// out[i], so completion order cannot reach the result.
+func GatherIndexed(jobs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = j * j
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// doneWorker computes one job and Dones the WaitGroup it was handed.
+func doneWorker(wg *sync.WaitGroup, out []int, i, j int) {
+	defer wg.Done()
+	out[i] = j * j
+}
+
+// forward passes its WaitGroup one hop further down before Done runs; the
+// transitive summary still proves the pairing.
+func forward(wg *sync.WaitGroup, out []int, i, j int) {
+	doneWorker(wg, out, i, j)
+}
+
+// HandOff launches named workers whose Done is proven across the call
+// graph, including through the forwarding hop.
+func HandOff(jobs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go forward(&wg, out, i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// indexed carries its own slot, so channel delivery order is harmless.
+type indexed struct {
+	idx int
+	val int
+}
+
+// DrainIndexed assigns results by the index the message carries — the
+// channel is a transport, not an ordering source.
+func DrainIndexed(results chan indexed, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := <-results
+		out[r.idx] = r.val
+	}
+	return out
+}
+
+// CountDrain folds received values into scalars; no result slice inherits
+// the delivery order.
+func CountDrain(results chan int) (sum int) {
+	for v := range results {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Package detsync_hot_bad launches goroutines from hot-path-scoped code:
+// directly, and transitively through a helper chain the flow graph sees
+// through.
+package detsync_hot_bad
+
+// prefetchAsync hides the fork one call deep.
+func prefetchAsync(addrs []uint64, done chan struct{}) {
+	go func() { // want:detsync
+		for range addrs {
+		}
+		close(done)
+	}()
+}
+
+// warm hides it two calls deep; its own call site trips the transitive
+// ban too, since warm is also hot-path-scoped.
+func warm(addrs []uint64, done chan struct{}) {
+	prefetchAsync(addrs, done) // want:detsync
+}
+
+// OnMiss forks directly on the per-load path.
+func OnMiss(addr uint64) {
+	ch := make(chan struct{})
+	go func() { // want:detsync
+		_ = addr
+		close(ch)
+	}()
+	<-ch
+}
+
+// Touch reaches a goroutine launch through the warm -> prefetchAsync
+// chain; the transitive ban catches the call site.
+func Touch(addrs []uint64) {
+	done := make(chan struct{})
+	warm(addrs, done) // want:detsync
+	<-done
+}

@@ -1,0 +1,64 @@
+// Package mapiter_bad holds order-taint violations: values whose order
+// derives from ranging over a map reach rendering, hashing and snapshot
+// sinks without a sort barrier.
+package mapiter_bad
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+)
+
+// RenderDirect ranges a map and prints each key as it comes: the figure's
+// row order changes run to run.
+func RenderDirect(w *bytes.Buffer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s=%d\n", name, n) // want:mapiter
+	}
+}
+
+// CollectThenRender gathers the keys first but never sorts them, so the
+// slice is just map order with extra steps.
+func CollectThenRender(w *bytes.Buffer, counts map[string]int) {
+	var names []string
+	for name := range counts {
+		names = append(names, name)
+	}
+	fmt.Fprintf(w, "%v\n", names) // want:mapiter
+}
+
+// keysOf leaks map order through a return value; the caller below trips
+// the sink, proving the summary survives the function boundary.
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// HashKeys feeds map-ordered bytes to a hash: the digests come out in an
+// order that flaps run to run.
+func HashKeys(m map[string]float64) [][32]byte {
+	var sums [][32]byte
+	for _, k := range keysOf(m) {
+		sums = append(sums, sha256.Sum256([]byte(k))) // want:mapiter
+	}
+	return sums
+}
+
+// sink is a repo-style publication seam; its name marks it ordering
+// sensitive and its summary records the parameter-to-sink flow.
+func sink(w *bytes.Buffer, rows []string) {
+	fmt.Fprintln(w, rows)
+}
+
+// ViaHelper pushes map-ordered rows through an intermediate helper; the
+// interprocedural summary still connects source to sink.
+func ViaHelper(w *bytes.Buffer, m map[int]int) {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprint(k, v))
+	}
+	sink(w, rows) // want:mapiter
+}

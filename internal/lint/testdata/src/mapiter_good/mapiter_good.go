@@ -1,0 +1,55 @@
+// Package mapiter_good holds the blessed shapes: map iteration is fine as
+// long as a sort barrier runs before the values become output.
+package mapiter_good
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// RenderSorted is the canonical fix: collect, sort, then render.
+func RenderSorted(w *bytes.Buffer, counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s=%d\n", name, counts[name])
+	}
+}
+
+// sortRows is an intra-repo barrier: it sorts its parameter in place, and
+// the flow summary records that, so callers get credit for calling it.
+func sortRows(rows []string) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+}
+
+// RenderViaHelper sorts through the helper before rendering.
+func RenderViaHelper(w *bytes.Buffer, m map[int]int) {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprint(k, v))
+	}
+	sortRows(rows)
+	fmt.Fprintln(w, rows)
+}
+
+// CopyByKey writes through keys into a destination map: keyed stores are
+// order-insensitive, so no taint survives.
+func CopyByKey(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// TotalOf folds a map into a sum; accumulation order does not reach any
+// ordering-sensitive sink here (detfloat owns FP-order concerns).
+func TotalOf(w *bytes.Buffer, counts map[string]int) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Fprintf(w, "total=%d\n", total)
+}

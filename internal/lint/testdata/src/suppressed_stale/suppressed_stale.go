@@ -1,0 +1,24 @@
+// Package suppressed_stale exercises the suppression-hygiene rules: a
+// suppression naming an analyzer that reports nothing on its line is
+// stale, and a suppression naming an analyzer that does not exist is a
+// silent no-op in disguise; both must be findings.
+package suppressed_stale
+
+// Stale documents a suppression that outlived the code it excused.
+func Stale(xs []int) int {
+	//lint:ignore seedrand the random fallback this excused was removed long ago
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Typo documents a suppression whose analyzer name matches nothing.
+func Typo(a, b int) int {
+	//lint:ignore sedrand transposed letters make this suppress nothing
+	if a > b {
+		return a
+	}
+	return b
+}
