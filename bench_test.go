@@ -12,13 +12,16 @@
 package lva_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"lva"
 	"lva/internal/experiments"
 	"lva/internal/memsim"
 	"lva/internal/stats"
+	"lva/internal/trace"
 	"lva/internal/workloads"
 )
 
@@ -50,10 +53,37 @@ func rowMean(b *testing.B, f *experiments.Figure, label string) float64 {
 	return r.Mean()
 }
 
+// BenchmarkTable1 measures the warm-store process-cold path of the
+// record-once trace pipeline: every iteration drops the in-memory caches
+// (ResetRunCache) but keeps the on-disk grid recordings, so regenerating
+// Table 1 costs 14 footer reads and zero simulation — the cost a fresh
+// process pointed at LVA_TRACE_DIR pays.
 func BenchmarkTable1(b *testing.B) {
-	f := runFigure(b, "table1")
-	b.ReportMetric(rowMean(b, f, "precise L1 MPKI"), "meanMPKI")
-	b.ReportMetric(rowMean(b, f, "inst count variation %"), "meanInstVar%")
+	// Deferred last→first: drop this bench's private state, then leave the
+	// shared caches warm for the benchmarks that follow — exactly the state
+	// a plain Table 1 regeneration leaves behind.
+	defer lva.RunExperiment("table1")
+	experiments.SetTraceDir(b.TempDir())
+	defer experiments.SetTraceDir("")
+	lva.ResetRunCache()
+	defer lva.ResetRunCache()
+	if _, ok := lva.RunExperiment("table1"); !ok { // record the 14 streams
+		b.Fatal("unknown experiment table1")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		lva.ResetRunCache()
+		f, _ := lva.RunExperiment("table1")
+		fig = f
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		fmt.Println(fig.String())
+	}
+	b.ReportMetric(rowMean(b, fig, "precise L1 MPKI"), "meanMPKI")
+	b.ReportMetric(rowMean(b, fig, "inst count variation %"), "meanInstVar%")
 }
 
 func BenchmarkFig1(b *testing.B) {
@@ -275,6 +305,58 @@ func BenchmarkI32LoadRow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i += 64 {
 		pix.LoadRow(sim, pcs, 0, 64, true, dst)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Grid-trace benchmarks: the two halves of the record-once/replay-many
+// pipeline, isolated. Record pays one instrumented kernel execution plus
+// the streaming encode; replay pays one decode pass plus per-access
+// simulator dispatch and no kernel arithmetic.
+
+func BenchmarkGridRecord(b *testing.B) {
+	w := workloads.NewBlackscholes()
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachNone
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gw := trace.NewGridWriter(io.Discard, w.Name(), "bench", experiments.DefaultSeed)
+		sim := memsim.New(cfg)
+		sim.SetGridCapture(gw)
+		w.Run(sim, experiments.DefaultSeed)
+		if _, err := gw.Finish(sim.Result().Instructions, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridReplay(b *testing.B) {
+	w := workloads.NewBlackscholes()
+	cfg := memsim.DefaultConfig()
+	cfg.Attach = memsim.AttachNone
+	var buf bytes.Buffer
+	gw := trace.NewGridWriter(&buf, w.Name(), "bench", experiments.DefaultSeed)
+	sim := memsim.New(cfg)
+	sim.SetGridCapture(gw)
+	w.Run(sim, experiments.DefaultSeed)
+	hdr, err := gw.Finish(sim.Result().Instructions, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	lvp := memsim.DefaultConfig()
+	lvp.Attach = memsim.AttachLVP
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr, err := trace.NewGridReader(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := memsim.Replay(gr, hdr.Instructions, []*memsim.Sim{memsim.New(lvp)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -5,11 +5,15 @@
 //	benchdiff [-max-regress 0.15] [-min-ns 1000000] [-warn-only] OLD.json NEW.json
 //
 // It exits nonzero when any benchmark slower than -min-ns regresses by more
-// than -max-regress in ns/op, so `./ci.sh bench -baseline OLD.json` is a
-// local perf gate. Benchmarks under the floor are reported but never gate:
-// at nanosecond scale a shared machine's scheduler noise exceeds any
-// sensible bound. -warn-only downgrades failures to warnings for CI, where
-// runners are noisy and heterogeneous.
+// than -max-regress in ns/op, or grows allocs/op by more than
+// -max-alloc-regress on a benchmark allocating at least -min-allocs, so
+// `./ci.sh bench -baseline OLD.json` is a local perf gate. Benchmarks under
+// the floors are reported but never gate: at nanosecond scale a shared
+// machine's scheduler noise exceeds any sensible bound, and tiny
+// allocation counts jump by whole-number steps. Allocation counts, unlike
+// wall time, are deterministic — so the alloc gate holds even on noisy
+// runners. -warn-only downgrades failures to warnings for CI, where runners
+// are noisy and heterogeneous.
 package main
 
 import (
@@ -102,6 +106,10 @@ func main() {
 		"fail when ns/op regresses by more than this fraction")
 	minNs := flag.Float64("min-ns", 1e6,
 		"only benchmarks at least this many ns/op can fail the gate")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25,
+		"fail when allocs/op grows by more than this fraction")
+	minAllocs := flag.Float64("min-allocs", 1000,
+		"only benchmarks with at least this many allocs/op can fail the alloc gate")
 	warnOnly := flag.Bool("warn-only", false,
 		"report regressions but always exit 0 (for noisy CI runners)")
 	flag.Parse()
@@ -153,6 +161,15 @@ func main() {
 		if o.hasMem || n.hasMem {
 			allocs = fmt.Sprintf("%.0f→%.0f", o.AllocsPerOp, n.AllocsPerOp)
 		}
+		if o.hasMem && n.hasMem && o.AllocsPerOp > 0 &&
+			(n.AllocsPerOp-o.AllocsPerOp)/o.AllocsPerOp > *maxAllocRegress {
+			if o.AllocsPerOp >= *minAllocs {
+				failed++
+				mark += "  ALLOC REGRESSION"
+			} else if mark == "" {
+				mark = "  (alloc growth below floor, not gated)"
+			}
+		}
 		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %12s%s\n",
 			name, o.NsPerOp, n.NsPerOp, delta*100, allocs, mark)
 	}
@@ -164,14 +181,14 @@ func main() {
 	}
 
 	if failed > 0 {
-		fmt.Printf("benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
-			failed, *maxRegress*100)
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%% ns/op or %.0f%% allocs/op\n",
+			failed, *maxRegress*100, *maxAllocRegress*100)
 		if !*warnOnly {
 			os.Exit(1)
 		}
 		fmt.Println("benchdiff: -warn-only set, not failing")
 		return
 	}
-	fmt.Printf("benchdiff: no wall-time regression beyond %.0f%% (floor %.0fms)\n",
-		*maxRegress*100, *minNs/1e6)
+	fmt.Printf("benchdiff: no regression beyond %.0f%% ns/op (floor %.0fms) or %.0f%% allocs/op (floor %.0f allocs)\n",
+		*maxRegress*100, *minNs/1e6, *maxAllocRegress*100, *minAllocs)
 }

@@ -5,6 +5,7 @@ import (
 
 	"lva/internal/core"
 	"lva/internal/fullsys"
+	"lva/internal/memsim"
 	"lva/internal/workloads"
 )
 
@@ -33,20 +34,20 @@ func AblationTable() *Figure {
 	}
 	ablationWays := []int{2, 4}
 	b := newBatch("ablation-table")
-	precise := b.precise()
-	sizeRuns := make([][]RunResult, len(ablationTableSizes))
+	precise := b.ctrPrecise()
+	sizeRuns := make([][]*memsim.Result, len(ablationTableSizes))
 	for si, entries := range ablationTableSizes {
 		entries := entries
-		sizeRuns[si] = b.lva(fmt.Sprintf("entries-%d", entries), func(w workloads.Workload) core.Config {
+		sizeRuns[si] = b.ctrLVA(fmt.Sprintf("entries-%d", entries), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableEntries = entries
 			return cfg
 		})
 	}
-	wayRuns := make([][]RunResult, len(ablationWays))
+	wayRuns := make([][]*memsim.Result, len(ablationWays))
 	for wi, ways := range ablationWays {
 		ways := ways
-		wayRuns[wi] = b.lva(fmt.Sprintf("ways-%d", ways), func(w workloads.Workload) core.Config {
+		wayRuns[wi] = b.ctrLVA(fmt.Sprintf("ways-%d", ways), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.TableWays = ways
 			return cfg
@@ -54,10 +55,10 @@ func AblationTable() *Figure {
 	}
 	b.run()
 	for si, entries := range ablationTableSizes {
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("entries-%d", entries), Values: mpkiValues(sizeRuns[si], precise)})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("entries-%d", entries), Values: ctrMPKIValues(sizeRuns[si], precise)})
 	}
 	for wi, ways := range ablationWays {
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("512-entries-%d-way", ways), Values: mpkiValues(wayRuns[wi], precise)})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("512-entries-%d-way", ways), Values: ctrMPKIValues(wayRuns[wi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper §VII-A: the table only needs to hold ~300 entries; LVA is feasible on a small hardware budget")
 	return f
@@ -193,7 +194,7 @@ func ExtLane() *Figure {
 			cfg := fullsys.DefaultConfig()
 			cfg.Approx = &acfg
 			cfg.TrainingLane = lane
-			out[i] = fullsys.New(cfg).Run(cachedTrace(w))
+			out[i] = runFullsys(w, cfg)
 		})
 		return out
 	}

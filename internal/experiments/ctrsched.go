@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"lva/internal/core"
+	"lva/internal/memsim"
+	"lva/internal/obs/attr"
+	"lva/internal/prefetch"
+	"lva/internal/trace"
+	"lva/internal/workloads"
+)
+
+// Counter scheduling: the replay-many half of the grid pipeline. A figure
+// whose rows read only memsim.Result counters (Table 1, Figures 4, 8, 12,
+// 13, the table ablation) declares its design points as ctrReqs instead of
+// Run* closures; batch.run routes each one:
+//
+//   - header: the point IS a recorded stream's run (the precise baseline,
+//     or the Table II LVA baseline) — its counters come straight from the
+//     stream footer. Zero simulation.
+//   - replay: the point consumes only precise values (any LVP or prefetch
+//     config; any LVA config on a feedback-free kernel), so it is
+//     simulated by replaying the workload's precise stream. All replay
+//     points of one workload share a single decode pass.
+//   - exec: everything else (LVA off the baseline on a feedback kernel)
+//     re-executes through the ordinary memoized Run* path, because the
+//     values its annotated loads observe depend on the approximator.
+//
+// Output-error figures never come through here: Output requires kernel
+// arithmetic, so they keep calling Run* directly.
+
+type ctrRoute int
+
+const (
+	ctrHeader ctrRoute = iota
+	ctrReplay
+	ctrExec
+)
+
+// ctrReq is one counter-only design point.
+type ctrReq struct {
+	label string
+	w     workloads.Workload
+	route ctrRoute
+	kind  string        // stream kind, header route
+	cfg   memsim.Config // simulator config, replay route
+	exec  func() RunResult
+	out   *memsim.Result
+}
+
+// ctrPrecisePoint schedules one benchmark's precise counters, served from
+// the recorded precise stream.
+func (b *batch) ctrPrecisePoint(w workloads.Workload) *memsim.Result {
+	out := new(memsim.Result)
+	b.ctrs = append(b.ctrs, ctrReq{
+		label: "precise/" + w.Name(), w: w, route: ctrHeader, kind: streamPrecise,
+		exec: func() RunResult { return RunPrecise(w, DefaultSeed) },
+		out:  out,
+	})
+	return out
+}
+
+// ctrPrecise schedules the precise counters of every benchmark.
+func (b *batch) ctrPrecise() []*memsim.Result {
+	out := make([]*memsim.Result, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		out[i] = b.ctrPrecisePoint(w)
+	}
+	return out
+}
+
+// ctrLVAPoint schedules one LVA design point's counters, picking the
+// cheapest exact route for its configuration and workload.
+func (b *batch) ctrLVAPoint(label string, w workloads.Workload, cfg core.Config) *memsim.Result {
+	out := new(memsim.Result)
+	req := ctrReq{label: label, w: w, out: out,
+		exec: func() RunResult { return RunLVA(w, cfg, DefaultSeed) }}
+	switch {
+	case fmt.Sprintf("%#v", cfg) == fmt.Sprintf("%#v", BaselineFor(w)):
+		req.route, req.kind = ctrHeader, streamLVABase
+	case w.FeedbackFree():
+		req.route = ctrReplay
+		mc := memsim.DefaultConfig()
+		mc.Attach = memsim.AttachLVA
+		mc.Approx = cfg
+		req.cfg = mc
+	default:
+		req.route = ctrExec
+	}
+	b.ctrs = append(b.ctrs, req)
+	return out
+}
+
+// ctrLVA schedules one LVA point per benchmark under cfgFor(w).
+func (b *batch) ctrLVA(label string, cfgFor func(w workloads.Workload) core.Config) []*memsim.Result {
+	out := make([]*memsim.Result, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		out[i] = b.ctrLVAPoint(label+"/"+w.Name(), w, cfgFor(w))
+	}
+	return out
+}
+
+// ctrLVP schedules one idealized-LVP point per benchmark. LVP never hands
+// a predicted value to the kernel (mispredictions squash, §II), so every
+// LVP configuration replays the precise stream exactly.
+func (b *batch) ctrLVP(label string, cfgFor func(w workloads.Workload) core.Config) []*memsim.Result {
+	out := make([]*memsim.Result, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		cfg := cfgFor(w)
+		mc := memsim.DefaultConfig()
+		mc.Attach = memsim.AttachLVP
+		mc.Approx = cfg
+		r := new(memsim.Result)
+		w := w
+		b.ctrs = append(b.ctrs, ctrReq{
+			label: label + "/" + w.Name(), w: w, route: ctrReplay, cfg: mc,
+			exec: func() RunResult { return RunLVP(w, cfg, DefaultSeed) },
+			out:  r,
+		})
+		out[i] = r
+	}
+	return out
+}
+
+// ctrPrefetch schedules one GHB-prefetcher point per benchmark at a
+// degree. The prefetcher never alters load values, so it always replays.
+func (b *batch) ctrPrefetch(label string, degree int) []*memsim.Result {
+	out := make([]*memsim.Result, len(workloads.Names()))
+	for i, w := range workloads.All() {
+		mc := memsim.DefaultConfig()
+		mc.Attach = memsim.AttachPrefetch
+		p := prefetch.DefaultConfig()
+		p.Degree = degree
+		mc.Prefetch = p
+		r := new(memsim.Result)
+		w := w
+		b.ctrs = append(b.ctrs, ctrReq{
+			label: label + "/" + w.Name(), w: w, route: ctrReplay, cfg: mc,
+			exec: func() RunResult { return RunPrefetch(w, degree, DefaultSeed) },
+			out:  r,
+		})
+		out[i] = r
+	}
+	return out
+}
+
+// scheduleCtrs converts the collected counter requests into batch tasks:
+// one task per (workload, kind) header group, one per-workload replay
+// task (all its points ride one decode pass), and one task per exec
+// point. Grouping follows insertion order, so the task list — and with it
+// the timeline — is deterministic across parallelism levels.
+func (b *batch) scheduleCtrs() {
+	reqs := b.ctrs
+	b.ctrs = nil
+	if len(reqs) == 0 {
+		return
+	}
+	if !replayEnabled() {
+		for i := range reqs {
+			r := &reqs[i]
+			b.add(r.label, func() { *r.out = r.exec().Sim })
+		}
+		return
+	}
+	type hkey struct{ name, kind string }
+	var (
+		horder  []hkey
+		hgroups = make(map[hkey][]*ctrReq)
+		rorder  []string
+		rgroups = make(map[string][]*ctrReq)
+	)
+	for i := range reqs {
+		r := &reqs[i]
+		switch r.route {
+		case ctrHeader:
+			k := hkey{r.w.Name(), r.kind}
+			if _, ok := hgroups[k]; !ok {
+				horder = append(horder, k)
+			}
+			hgroups[k] = append(hgroups[k], r)
+		case ctrReplay:
+			if _, ok := rgroups[r.w.Name()]; !ok {
+				rorder = append(rorder, r.w.Name())
+			}
+			rgroups[r.w.Name()] = append(rgroups[r.w.Name()], r)
+		default:
+			b.add(r.label, func() {
+				*r.out = r.exec().Sim
+				traceStats.execPoints.Add(1)
+			})
+		}
+	}
+	for _, k := range horder {
+		group := hgroups[k]
+		kind := k.kind
+		b.add("grid/"+k.name+"/"+kind, func() { serveHeaders(kind, group) })
+	}
+	for _, name := range rorder {
+		group := rgroups[name]
+		b.add("grid/"+name+"/replay", func() { serveReplay(group) })
+	}
+}
+
+// serveHeaders resolves a header group from its recorded stream's footer
+// counters. ensureStream falls back to (cached, capturing) execution when
+// no recording exists yet, so res is always the exact design-point result.
+func serveHeaders(kind string, group []*ctrReq) {
+	st := ensureStream(kind, group[0].w, DefaultSeed)
+	for _, r := range group {
+		*r.out = st.res
+		traceStats.headerHits.Add(1)
+	}
+}
+
+// replayKey is the memo identity of one replayed design point. The full
+// simulator config goes into the key, so it separates attachments,
+// approximator settings and prefetch degrees exactly as the Run* keys do.
+func replayKey(w workloads.Workload, cfg memsim.Config, seed uint64) string {
+	return runKey("replay", w, fmt.Sprintf("%#v", cfg), seed)
+}
+
+// serveReplay simulates a replay group by streaming the workload's
+// precise recording through one fresh simulator per design point: a
+// single decode pass, K per-point cache/approximator instances, no kernel
+// arithmetic. Points an earlier pass already replayed are served from the
+// replay memo and skip the decode entirely. Any failure (no recording,
+// disk or decode error) falls back to executing every point.
+func serveReplay(group []*ctrReq) {
+	w := group[0].w
+	pending := group[:0:0]
+	for _, r := range group {
+		if v, ok := replayCells.Load(replayKey(r.w, r.cfg, DefaultSeed)); ok {
+			*r.out = v.(memsim.Result)
+			traceStats.replayHits.Add(1)
+			continue
+		}
+		pending = append(pending, r)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	group = pending
+	st := ensureStream(streamPrecise, w, DefaultSeed)
+	execAll := func() {
+		for _, r := range group {
+			*r.out = r.exec().Sim
+			traceStats.execPoints.Add(1)
+		}
+	}
+	if st.path == "" {
+		execAll()
+		return
+	}
+	sims := make([]*memsim.Sim, len(group))
+	recs := make([]*attr.Recorder, len(group))
+	for i, r := range group {
+		sims[i] = memsim.New(r.cfg)
+		recs[i] = attrRecorder(w, r.cfg, DefaultSeed)
+		if recs[i] != nil {
+			sims[i].SetAttribution(recs[i])
+		}
+	}
+	f, err := os.Open(st.path)
+	if err != nil {
+		execAll()
+		return
+	}
+	defer f.Close()
+	gr, err := trace.NewGridReader(bufio.NewReaderSize(f, 1<<16))
+	if err == nil {
+		err = memsim.Replay(gr, st.hdr.Instructions, sims)
+	}
+	if err != nil {
+		execAll()
+		return
+	}
+	for i, r := range group {
+		res := sims[i].Result()
+		*r.out = res
+		replayCells.Store(replayKey(r.w, r.cfg, DefaultSeed), res)
+		if recs[i] != nil {
+			attr.Publish(recs[i])
+		}
+		traceStats.replayPoints.Add(1)
+	}
+	traceStats.replayPasses.Add(1)
+}
+
+// replayLVAPoint simulates one LVA design point by replaying the
+// workload's precise stream through a single fresh simulator (RunSweep's
+// CountersOnly path), falling back to the memoized execution when no
+// recording is available. Callers must hold a gate slot.
+func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64) memsim.Result {
+	mc := memsim.DefaultConfig()
+	mc.Attach = memsim.AttachLVA
+	mc.Approx = cfg
+	if v, ok := replayCells.Load(replayKey(w, mc, seed)); ok {
+		traceStats.replayHits.Add(1)
+		return v.(memsim.Result)
+	}
+	st := ensureStream(streamPrecise, w, seed)
+	execPoint := func() memsim.Result {
+		traceStats.execPoints.Add(1)
+		return RunLVA(w, cfg, seed).Sim
+	}
+	if st.path == "" {
+		return execPoint()
+	}
+	sim := memsim.New(mc)
+	rec := attrRecorder(w, mc, seed)
+	if rec != nil {
+		sim.SetAttribution(rec)
+	}
+	f, err := os.Open(st.path)
+	if err != nil {
+		return execPoint()
+	}
+	defer f.Close()
+	gr, err := trace.NewGridReader(bufio.NewReaderSize(f, 1<<16))
+	if err == nil {
+		err = memsim.Replay(gr, st.hdr.Instructions, []*memsim.Sim{sim})
+	}
+	if err != nil {
+		return execPoint()
+	}
+	if rec != nil {
+		attr.Publish(rec)
+	}
+	traceStats.replayPasses.Add(1)
+	traceStats.replayPoints.Add(1)
+	res := sim.Result()
+	replayCells.Store(replayKey(w, mc, seed), res)
+	return res
+}

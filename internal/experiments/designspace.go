@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lva/internal/core"
+	"lva/internal/memsim"
 	"lva/internal/workloads"
 )
 
@@ -46,6 +47,33 @@ func fetchValues(runs, precise []RunResult) []float64 {
 	return out
 }
 
+// The ctr* twins of the helpers above operate on the bare counter results
+// the replay scheduler fills in (counter figures never see an Output).
+
+func ctrNormalizedMPKI(run, precise *memsim.Result) float64 {
+	p := precise.RawMPKI()
+	if p == 0 {
+		return 0
+	}
+	return run.EffectiveMPKI() / p
+}
+
+func ctrMPKIValues(runs, precise []*memsim.Result) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = ctrNormalizedMPKI(runs[i], precise[i])
+	}
+	return out
+}
+
+func ctrFetchValues(runs, precise []*memsim.Result) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = float64(runs[i].Fetches) / float64(precise[i].Fetches)
+	}
+	return out
+}
+
 // Fig4 reproduces Figure 4: normalized MPKI of LVA vs. an idealized LVP for
 // GHB sizes 0, 1, 2 and 4. Expected shape: LVA achieves lower MPKI than LVP
 // on average (no exact-match requirement), and MPKI tends to rise with GHB
@@ -58,17 +86,17 @@ func Fig4() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	b := newBatch("fig4")
-	precise := b.precise()
-	lvpRuns := make([][]RunResult, len(ghbSizes))
-	lvaRuns := make([][]RunResult, len(ghbSizes))
+	precise := b.ctrPrecise()
+	lvpRuns := make([][]*memsim.Result, len(ghbSizes))
+	lvaRuns := make([][]*memsim.Result, len(ghbSizes))
 	for gi, g := range ghbSizes {
 		g := g
-		lvpRuns[gi] = b.lvp(fmt.Sprintf("LVP-GHB-%d", g), func(w workloads.Workload) core.Config {
+		lvpRuns[gi] = b.ctrLVP(fmt.Sprintf("LVP-GHB-%d", g), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
 		})
-		lvaRuns[gi] = b.lva(fmt.Sprintf("LVA-GHB-%d", g), func(w workloads.Workload) core.Config {
+		lvaRuns[gi] = b.ctrLVA(fmt.Sprintf("LVA-GHB-%d", g), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.GHBSize = g
 			return cfg
@@ -76,10 +104,10 @@ func Fig4() *Figure {
 	}
 	b.run()
 	for gi, g := range ghbSizes {
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVP-GHB-%d", g), Values: mpkiValues(lvpRuns[gi], precise)})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVP-GHB-%d", g), Values: ctrMPKIValues(lvpRuns[gi], precise)})
 	}
 	for gi, g := range ghbSizes {
-		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVA-GHB-%d", g), Values: mpkiValues(lvaRuns[gi], precise)})
+		f.Rows = append(f.Rows, Row{Label: fmt.Sprintf("LVA-GHB-%d", g), Values: ctrMPKIValues(lvaRuns[gi], precise)})
 	}
 	f.Notes = append(f.Notes, "paper: LVA achieves lower normalized MPKI than idealized LVP on average; MPKI tends to increase with GHB size")
 	return f
@@ -219,13 +247,13 @@ func Fig8() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	b := newBatch("fig8")
-	precise := b.precise()
-	prefRuns := make([][]RunResult, len(degrees))
-	apxRuns := make([][]RunResult, len(degrees))
+	precise := b.ctrPrecise()
+	prefRuns := make([][]*memsim.Result, len(degrees))
+	apxRuns := make([][]*memsim.Result, len(degrees))
 	for di, d := range degrees {
 		d := d
-		prefRuns[di] = b.prefetch(fmt.Sprintf("prefetch-%d", d), d)
-		apxRuns[di] = b.lva(fmt.Sprintf("approx-%d", d), func(w workloads.Workload) core.Config {
+		prefRuns[di] = b.ctrPrefetch(fmt.Sprintf("prefetch-%d", d), d)
+		apxRuns[di] = b.ctrLVA(fmt.Sprintf("approx-%d", d), func(w workloads.Workload) core.Config {
 			cfg := BaselineFor(w)
 			cfg.Degree = d
 			return cfg
@@ -234,13 +262,13 @@ func Fig8() *Figure {
 	b.run()
 	for di, d := range degrees {
 		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI prefetch-%d", d), Values: mpkiValues(prefRuns[di], precise)},
-			Row{Label: fmt.Sprintf("fetches prefetch-%d", d), Values: fetchValues(prefRuns[di], precise)})
+			Row{Label: fmt.Sprintf("MPKI prefetch-%d", d), Values: ctrMPKIValues(prefRuns[di], precise)},
+			Row{Label: fmt.Sprintf("fetches prefetch-%d", d), Values: ctrFetchValues(prefRuns[di], precise)})
 	}
 	for di, d := range degrees {
 		f.Rows = append(f.Rows,
-			Row{Label: fmt.Sprintf("MPKI approx-%d", d), Values: mpkiValues(apxRuns[di], precise)},
-			Row{Label: fmt.Sprintf("fetches approx-%d", d), Values: fetchValues(apxRuns[di], precise)})
+			Row{Label: fmt.Sprintf("MPKI approx-%d", d), Values: ctrMPKIValues(apxRuns[di], precise)},
+			Row{Label: fmt.Sprintf("fetches approx-%d", d), Values: ctrFetchValues(apxRuns[di], precise)})
 	}
 	f.Notes = append(f.Notes,
 		"paper: prefetch-16 increases fetched blocks by ~73% on average while LVA-16 reduces them by ~39%",
@@ -289,11 +317,11 @@ func Fig12() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	b := newBatch("fig12")
-	runs := b.lva("lva", BaselineFor)
+	runs := b.ctrLVA("lva", BaselineFor)
 	b.run()
 	row := Row{Label: "static approx load PCs"}
 	for _, r := range runs {
-		row.Values = append(row.Values, float64(r.Sim.StaticPCs))
+		row.Values = append(row.Values, float64(r.StaticPCs))
 	}
 	f.Rows = []Row{row}
 	f.Notes = append(f.Notes, "paper: at most ~300 static approximate loads (x264); small tables suffice")
@@ -316,20 +344,20 @@ func Fig13() *Figure {
 		Benchmarks: []string{fl.Name()},
 	}
 	b := newBatch("fig13")
-	precise := b.one("precise", func() RunResult { return RunPrecise(fl, DefaultSeed) })
-	lossRuns := make([]*RunResult, len(mantissaLosses))
+	precise := b.ctrPrecisePoint(fl)
+	lossRuns := make([]*memsim.Result, len(mantissaLosses))
 	for bi, bits := range mantissaLosses {
 		cfg := core.DefaultConfig()
 		cfg.GHBSize = 2
 		cfg.Window = -1 // confidence disabled (never rejects)
 		cfg.MantissaLoss = bits
-		lossRuns[bi] = b.one(fmt.Sprintf("loss-%d", bits), func() RunResult { return RunLVA(fl, cfg, DefaultSeed) })
+		lossRuns[bi] = b.ctrLVAPoint(fmt.Sprintf("loss-%d", bits), fl, cfg)
 	}
 	b.run()
 	for bi, bits := range mantissaLosses {
 		f.Rows = append(f.Rows, Row{
 			Label:  fmt.Sprintf("loss-%d bits", bits),
-			Values: []float64{normalizedMPKI(*lossRuns[bi], *precise)},
+			Values: []float64{ctrNormalizedMPKI(lossRuns[bi], precise)},
 		})
 	}
 	f.Notes = append(f.Notes, "paper: removing mantissa bits improves hash value locality, so MPKI goes down; error stays ~10%")

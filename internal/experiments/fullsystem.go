@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"os"
 	"sync"
 
 	"lva/internal/fullsys"
@@ -51,6 +53,34 @@ func cachedTrace(w workloads.Workload) *trace.Trace {
 	return cell.tr
 }
 
+// runFullsys runs one phase-2 configuration for w. With replay enabled it
+// streams the recorded precise grid trace from disk chunk by chunk —
+// fullsys never holds the flat trace in memory — and falls back to the
+// materialized in-memory capture when no recording is available.
+func runFullsys(w workloads.Workload, cfg fullsys.Config) fullsys.Result {
+	if replayEnabled() {
+		if st := ensureStream(streamPrecise, w, DefaultSeed); st.path != "" {
+			if r, err := streamFullsys(cfg, st); err == nil {
+				return r
+			}
+		}
+	}
+	return fullsys.New(cfg).Run(cachedTrace(w))
+}
+
+func streamFullsys(cfg fullsys.Config, st *gridStream) (fullsys.Result, error) {
+	f, err := os.Open(st.path)
+	if err != nil {
+		return fullsys.Result{}, err
+	}
+	defer f.Close()
+	gr, err := trace.NewGridReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return fullsys.Result{}, err
+	}
+	return fullsys.New(cfg).RunStream(st.hdr.Threads, gr)
+}
+
 type fsCell struct {
 	once sync.Once
 	r    *fullsysRun
@@ -65,11 +95,9 @@ func fullSystemSweep(w workloads.Workload) *fullsysRun {
 	c, _ := fsCells.LoadOrStore(w.Name(), &fsCell{})
 	cell := c.(*fsCell)
 	cell.once.Do(func() {
-		tr := cachedTrace(w)
-
 		run := &fullsysRun{byDeg: make(map[int]fullsys.Result)}
 		cfg := fullsys.DefaultConfig()
-		run.precise = fullsys.New(cfg).Run(tr)
+		run.precise = runFullsys(w, cfg)
 
 		for _, d := range fullsysDegrees {
 			acfg := BaselineFor(w)
@@ -80,7 +108,7 @@ func fullSystemSweep(w workloads.Workload) *fullsysRun {
 			acfg.ValueDelay = 1
 			c := cfg
 			c.Approx = &acfg
-			run.byDeg[d] = fullsys.New(c).Run(tr)
+			run.byDeg[d] = runFullsys(w, c)
 		}
 		cell.r = run
 	})

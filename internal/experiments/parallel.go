@@ -102,6 +102,9 @@ type task struct {
 type batch struct {
 	fig   string
 	tasks []task
+	// ctrs are counter-only design points awaiting routing; run converts
+	// them into header/replay/exec tasks (see ctrsched.go).
+	ctrs []ctrReq
 }
 
 // newBatch starts a batch for the named experiment.
@@ -113,8 +116,10 @@ func (b *batch) add(label string, fn func()) {
 }
 
 // run executes every collected task gate-bounded and returns when all have
-// finished, leaving the batch empty for reuse.
+// finished, leaving the batch empty for reuse. Counter requests are routed
+// into tasks first, so header/replay groups fan out alongside exec points.
 func (b *batch) run() {
+	b.scheduleCtrs()
 	var wg sync.WaitGroup
 	for _, t := range b.tasks {
 		wg.Add(1)

@@ -127,11 +127,14 @@ func RunCacheCounters() RunCacheStats {
 // enabled.
 func SetRunCacheEnabled(on bool) { runCacheOff.Store(!on) }
 
-// ResetRunCache drops every memoized run — phase-1 results, captured
-// phase-2 traces and full-system replays — and zeroes the counters,
-// restoring process-cold behaviour. It is intended for tests and
-// benchmarks and must not race with running experiments.
+// ResetRunCache drops every memoized run — phase-1 results, grid-trace
+// recordings, captured phase-2 traces and full-system replays — and zeroes
+// the counters, restoring process-cold behaviour. (Recordings in an
+// explicit SetTraceDir/LVA_TRACE_DIR store survive; the per-process temp
+// store is deleted.) It is intended for tests and benchmarks and must not
+// race with running experiments.
 func ResetRunCache() {
+	resetTraceStore()
 	runCells.Range(func(k, _ any) bool {
 		runCells.Delete(k)
 		return true

@@ -38,18 +38,16 @@ func ExtMLP() *Figure {
 		m := m
 		row := Row{Label: m.label, Values: make([]float64, len(workloads.Names()))}
 		forEachWorkload("ext-mlp/"+m.label, func(i int, w workloads.Workload) {
-			tr := cachedTrace(w)
-
 			base := fullsys.DefaultConfig()
 			base.ROB = m.rob
 			base.MSHRs = m.mshrs
-			precise := fullsys.New(base).Run(tr)
+			precise := runFullsys(w, base)
 
 			acfg := BaselineFor(w)
 			acfg.ValueDelay = 1
 			lvaCfg := base
 			lvaCfg.Approx = &acfg
-			lva := fullsys.New(lvaCfg).Run(tr)
+			lva := runFullsys(w, lvaCfg)
 
 			row.Values[i] = float64(precise.Cycles)/float64(lva.Cycles) - 1
 		})

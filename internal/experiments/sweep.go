@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lva/internal/core"
+	"lva/internal/memsim"
 	"lva/internal/obs"
 	"lva/internal/workloads"
 )
@@ -34,6 +35,13 @@ type SweepSpec struct {
 	Proportional bool
 	// Seed is the workload input seed (0 means DefaultSeed).
 	Seed uint64
+	// CountersOnly drops the output-error column (OutputError is reported
+	// as 0 for every point). In exchange, feedback-free benchmarks replay
+	// the recorded precise stream instead of re-executing the kernel at
+	// each design point — the cheap way to run huge cartesian grids when
+	// only MPKI/coverage/fetch counters are needed. Benchmarks with
+	// approximation feedback still execute.
+	CountersOnly bool
 }
 
 // normalize fills defaults and returns the effective spec.
@@ -215,14 +223,22 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 		go func() {
 			defer wg.Done()
 			for j := range feed {
-				var run RunResult
-				gated("sweep/"+j.bench, func() { run = RunLVA(j.w, j.cfg, n.Seed) })
+				var sim memsim.Result
 				pt := j.point
-				pt.RawMPKI = run.Sim.RawMPKI()
-				pt.EffectiveMPKI = run.Sim.EffectiveMPKI()
-				pt.Coverage = run.Sim.Coverage()
-				pt.Fetches = run.Sim.Fetches
-				pt.OutputError = ErrorVs(run, j.precise)
+				if n.CountersOnly && replayEnabled() && j.w.FeedbackFree() {
+					gated("sweep/"+j.bench, func() { sim = replayLVAPoint(j.w, j.cfg, n.Seed) })
+				} else {
+					var run RunResult
+					gated("sweep/"+j.bench, func() { run = RunLVA(j.w, j.cfg, n.Seed) })
+					sim = run.Sim
+					if !n.CountersOnly {
+						pt.OutputError = ErrorVs(run, j.precise)
+					}
+				}
+				pt.RawMPKI = sim.RawMPKI()
+				pt.EffectiveMPKI = sim.EffectiveMPKI()
+				pt.Coverage = sim.Coverage()
+				pt.Fetches = sim.Fetches
 				if p := j.precise.Sim.RawMPKI(); p > 0 {
 					pt.NormalizedMPKI = pt.EffectiveMPKI / p
 				}

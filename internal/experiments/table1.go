@@ -19,15 +19,15 @@ func Table1() *Figure {
 		Benchmarks: workloads.Names(),
 	}
 	b := newBatch("table1")
-	precise := b.precise()
-	runs := b.lva("lva", BaselineFor)
+	precise := b.ctrPrecise()
+	runs := b.ctrLVA("lva", BaselineFor)
 	b.run()
 	mpki := Row{Label: "precise L1 MPKI"}
 	vari := Row{Label: "inst count variation %"}
 	for i := range runs {
-		mpki.Values = append(mpki.Values, precise[i].Sim.RawMPKI())
-		d := math.Abs(float64(runs[i].Sim.Instructions)-float64(precise[i].Sim.Instructions)) /
-			float64(precise[i].Sim.Instructions) * 100
+		mpki.Values = append(mpki.Values, precise[i].RawMPKI())
+		d := math.Abs(float64(runs[i].Instructions)-float64(precise[i].Instructions)) /
+			float64(precise[i].Instructions) * 100
 		vari.Values = append(vari.Values, d)
 	}
 	f.Rows = []Row{mpki, vari}

@@ -16,6 +16,7 @@ package fullsys
 
 import (
 	"fmt"
+	"io"
 
 	"lva/internal/cache"
 	"lva/internal/coherence"
@@ -210,6 +211,7 @@ type coreState struct {
 	id      int
 	accs    []trace.Access
 	pos     int
+	seen    int    // accesses consumed (accs may be a compacted window)
 	cycleQ  uint64 // quarter-cycles (4-wide issue)
 	insts   uint64
 	pending []pendingMiss
@@ -264,9 +266,8 @@ func (s *Sim) homeOf(block uint64) int {
 	return int((block >> 6) % uint64(s.cfg.Cores))
 }
 
-// Run replays the trace and returns the metrics. Each trace thread maps to
-// one core. Run may be called once per Sim.
-func (s *Sim) Run(tr *trace.Trace) Result {
+// newCores builds the per-core replay state.
+func (s *Sim) newCores() []*coreState {
 	cores := make([]*coreState, s.cfg.Cores)
 	for i := range cores {
 		cores[i] = &coreState{id: i}
@@ -274,6 +275,13 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 			cores[i].approx = core.New(*s.cfg.Approx)
 		}
 	}
+	return cores
+}
+
+// Run replays the trace and returns the metrics. Each trace thread maps to
+// one core. Run may be called once per Sim.
+func (s *Sim) Run(tr *trace.Trace) Result {
+	cores := s.newCores()
 	// Count each core's share first so the per-core queues are allocated
 	// exactly once instead of growing through repeated copies of
 	// multi-million-access traces.
@@ -313,6 +321,92 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 		s.step(next)
 	}
 
+	return s.finish(cores)
+}
+
+// RunStream replays a grid stream chunk by chunk, never materializing the
+// whole trace: each core keeps a bounded queue of not-yet-simulated
+// accesses, refilled from the source whenever an active core runs dry, and
+// consumed prefixes are compacted away before each refill. threads is the
+// stream's thread count (GridHeader.Threads); thread t maps to core
+// t mod Cores, and only cores with at least one mapped thread participate
+// in refill demand. The pick order — always the core whose next access
+// issues earliest — is identical to Run's, because before every pick each
+// participating core either has its true next access queued or the stream
+// is exhausted. Memory stays bounded by chunk size times thread skew for
+// interleaved streams; a stream whose threads run in disjoint phases
+// degrades gracefully to buffering (correctness is unaffected).
+// RunStream may be called once per Sim.
+func (s *Sim) RunStream(threads int, src trace.ChunkSource) (Result, error) {
+	cores := s.newCores()
+	active := make([]bool, s.cfg.Cores)
+	for t := 0; t < threads; t++ {
+		active[t%s.cfg.Cores] = true
+	}
+	needRefill := func() bool {
+		for i, c := range cores {
+			if active[i] && c.pos >= len(c.accs) {
+				return true
+			}
+		}
+		return false
+	}
+	eof := false
+	refill := func() error {
+		if eof || !needRefill() {
+			return nil
+		}
+		// About to grow queues: drop consumed prefixes first so memory is
+		// bounded by the unconsumed windows, not the whole stream.
+		for _, c := range cores {
+			if c.pos > 0 {
+				c.accs = c.accs[:copy(c.accs, c.accs[c.pos:])]
+				c.pos = 0
+			}
+		}
+		for !eof && needRefill() {
+			accs, _, err := src.Next()
+			if err == io.EOF {
+				eof = true
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			for _, a := range accs {
+				c := cores[int(a.Thread)%s.cfg.Cores]
+				c.accs = append(c.accs, a)
+			}
+		}
+		return nil
+	}
+
+	for {
+		if err := refill(); err != nil {
+			return Result{}, err
+		}
+		var next *coreState
+		var nextKey uint64
+		for _, c := range cores {
+			if c.pos >= len(c.accs) {
+				continue
+			}
+			key := c.cycleQ + uint64(c.accs[c.pos].Gap)
+			if next == nil || key < nextKey {
+				next, nextKey = c, key
+			}
+		}
+		if next == nil {
+			break
+		}
+		s.step(next)
+	}
+
+	return s.finish(cores), nil
+}
+
+// finish drains outstanding misses and assembles the Result.
+func (s *Sim) finish(cores []*coreState) Result {
 	for _, c := range cores {
 		// Wait out any outstanding misses at the end of the stream.
 		for _, p := range c.pending {
@@ -333,7 +427,7 @@ func (s *Sim) Run(tr *trace.Trace) Result {
 		s.res.PerCore = append(s.res.PerCore, CoreStat{
 			Instructions: c.insts,
 			Cycles:       c.cycles(),
-			Accesses:     len(c.accs),
+			Accesses:     c.seen,
 		})
 	}
 
@@ -378,6 +472,7 @@ func (s *Sim) retire(c *coreState, instsAboutToBe uint64) {
 func (s *Sim) step(c *coreState) {
 	a := c.accs[c.pos]
 	c.pos++
+	c.seen++
 
 	// Non-memory instructions since the previous access on this thread.
 	gap := uint64(a.Gap)

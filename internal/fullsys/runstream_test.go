@@ -1,0 +1,102 @@
+package fullsys
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"lva/internal/trace"
+	"lva/internal/value"
+)
+
+// encodeGridStream synthesizes a multi-chunk, multi-thread grid stream with
+// mixed loads/stores/approximate accesses and returns the encoded bytes
+// plus its header.
+func encodeGridStream(t *testing.T, n, threads int) ([]byte, trace.GridHeader) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewGridWriter(&buf, "unit", "k", 1)
+	insts := uint64(0)
+	for i := 0; i < n; i++ {
+		thread := uint8(i % threads)
+		pc := 0x400 + uint64(i%8)*4
+		addr := 0x10000 + uint64(i*2654435761)%2048*64
+		if i%5 == 0 {
+			w.Access(pc, addr, value.Value{}, trace.Store, false, thread, insts)
+		} else {
+			w.Access(pc, addr, value.FromInt(int64(i%97)), trace.Load, i%2 == 0, thread, insts)
+		}
+		insts += 1 + uint64(i%7)
+	}
+	hdr, err := w.Finish(insts+5, nil)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return buf.Bytes(), hdr
+}
+
+// decodeFlat materializes a grid stream into the in-memory trace format.
+func decodeFlat(t *testing.T, encoded []byte) *trace.Trace {
+	t.Helper()
+	gr, err := trace.NewGridReader(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := &trace.Trace{Name: "unit"}
+	for {
+		accs, _, err := gr.Next()
+		if err == io.EOF {
+			return flat
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat.Accesses = append(flat.Accesses, accs...)
+	}
+}
+
+// TestRunStreamMatchesRun is the phase-2 streaming contract: chunked replay
+// through bounded per-core queues must pick accesses in exactly the order
+// the materialized Run does, so every counter — cycles, traffic, energy —
+// is identical.
+func TestRunStreamMatchesRun(t *testing.T) {
+	for _, threads := range []int{1, 3, 4} {
+		encoded, hdr := encodeGridStream(t, 20000, threads)
+		if hdr.Chunks < 2 {
+			t.Fatalf("stream too small to exercise chunking: %d chunks", hdr.Chunks)
+		}
+		flat := decodeFlat(t, encoded)
+
+		for _, withApprox := range []bool{false, true} {
+			cfg := DefaultConfig()
+			if withApprox {
+				cfg.Approx = approxCfg(4)
+			}
+			want := New(cfg).Run(flat)
+			gr, err := trace.NewGridReader(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := New(cfg).RunStream(hdr.Threads, gr)
+			if err != nil {
+				t.Fatalf("RunStream: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("threads=%d approx=%v: streamed result differs\n got %+v\nwant %+v",
+					threads, withApprox, got, want)
+			}
+		}
+	}
+}
+
+func TestRunStreamPropagatesDecodeErrors(t *testing.T) {
+	encoded, hdr := encodeGridStream(t, 20000, 4)
+	gr, err := trace.NewGridReader(bytes.NewReader(encoded[:len(encoded)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig()).RunStream(hdr.Threads, gr); err == nil {
+		t.Fatal("truncated stream must surface an error")
+	}
+}

@@ -31,12 +31,15 @@ var obshooksAnalyzer = &Analyzer{
 	Run:  runObshooks,
 }
 
-// hotPathPkgs are the packages on the per-load simulation path.
+// hotPathPkgs are the packages on the per-load simulation path. The trace
+// package is here for its grid capture sink: (*GridWriter).Access runs on
+// every access of a recording run.
 var hotPathPkgs = map[string]bool{
 	"lva/internal/memsim":   true,
 	"lva/internal/cache":    true,
 	"lva/internal/core":     true,
 	"lva/internal/obs/attr": true,
+	"lva/internal/trace":    true,
 }
 
 // attrSeamPkgs additionally ban fmt outright (not just in hot-named

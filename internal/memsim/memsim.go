@@ -157,6 +157,10 @@ type Sim struct {
 
 	rec     *trace.Trace // optional capture
 	lastEnd []uint64     // per-thread instruction count at last recorded access
+
+	// grid is the optional streaming capture sink (record-once replay).
+	// Mutually exclusive with rec in practice; rec wins if both are set.
+	grid *trace.GridWriter
 }
 
 // Simulator is kept as an alias for existing callers; new code should use
@@ -215,6 +219,12 @@ func (s *Sim) CaptureSized(name string, accesses int) {
 // TakeTrace returns the captured trace (nil if Capture was not called).
 func (s *Sim) TakeTrace() *trace.Trace { return s.rec }
 
+// SetGridCapture directs the simulator to stream every access into a grid
+// trace writer (nil detaches). Unlike Capture nothing is buffered in
+// memory: accesses go straight into the writer's chunk encoder. Call
+// before running the workload; the writer's own Finish seals the file.
+func (s *Sim) SetGridCapture(w *trace.GridWriter) { s.grid = w }
+
 // SetAttribution attaches a flight recorder for this run (nil detaches),
 // wiring the attached approximator's training hooks too. Call before
 // running the workload; the experiment harness wires one per run when
@@ -261,6 +271,8 @@ func (s *Sim) record(pc, addr uint64, v value.Value, op trace.Op, approx bool) {
 func (s *Sim) load(pc, addr uint64, precise value.Value, approx bool) value.Value {
 	if s.rec != nil {
 		s.record(pc, addr, precise, trace.Load, approx)
+	} else if s.grid != nil {
+		s.grid.Access(pc, addr, precise, trace.Load, approx, s.thread, s.insts)
 	}
 	s.insts++
 	if s.approx != nil {
@@ -360,6 +372,8 @@ func (s *Sim) LoadInt(pc, addr uint64, precise int64, approx bool) int64 {
 func (s *Sim) Store(pc, addr uint64) {
 	if s.rec != nil {
 		s.record(pc, addr, value.Value{}, trace.Store, false)
+	} else if s.grid != nil {
+		s.grid.Access(pc, addr, value.Value{}, trace.Store, false, s.thread, s.insts)
 	}
 	s.insts++
 	s.stores++

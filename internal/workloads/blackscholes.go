@@ -35,6 +35,13 @@ func (b *Blackscholes) Name() string { return "blackscholes" }
 // FloatData implements Workload.
 func (b *Blackscholes) FloatData() bool { return true }
 
+// FeedbackFree implements Workload: the annotated option-parameter arrays
+// are written only during setup, every price is derived per option without
+// being stored back through the simulator, and loop bounds and addresses
+// come from precise loop indices — so the access stream cannot depend on
+// what an approximator returned.
+func (b *Blackscholes) FeedbackFree() bool { return true }
+
 // BlackscholesOutput is the list of computed option prices. The paper's
 // error metric: the percentage of prices whose relative error exceeds 1%.
 type BlackscholesOutput struct {

@@ -45,6 +45,12 @@ func (b *Bodytrack) Name() string { return "bodytrack" }
 // FloatData implements Workload.
 func (b *Bodytrack) FloatData() bool { return false }
 
+// FeedbackFree implements Workload: particle weights computed from
+// annotated image-map loads persist across frames, and the next frame's
+// predicted body position (hence the region of interest and the sample
+// addresses) depends on them — approximation feeds back into the stream.
+func (b *Bodytrack) FeedbackFree() bool { return false }
+
 // Vec2 is a 2-D position estimate.
 type Vec2 struct{ X, Y float64 }
 

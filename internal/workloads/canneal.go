@@ -40,6 +40,12 @@ func (c *Canneal) Name() string { return "canneal" }
 // FloatData implements Workload.
 func (c *Canneal) FloatData() bool { return false }
 
+// FeedbackFree implements Workload: swap acceptance depends on the cost
+// delta computed from annotated neighbour-coordinate loads, so an
+// approximated coordinate changes which stores execute and the values
+// every later load observes.
+func (c *Canneal) FeedbackFree() bool { return false }
+
 // CannealOutput is the final total routing cost. The paper's metric: the
 // relative difference between approximate and precise final cost.
 type CannealOutput struct {

@@ -52,6 +52,12 @@ func (f *Ferret) Name() string { return "ferret" }
 // FloatData implements Workload.
 func (f *Ferret) FloatData() bool { return true }
 
+// FeedbackFree implements Workload: the annotated feature database is
+// read-only after setup, the probe order and cluster traversal are driven
+// by precise Go-side metadata, and loaded values only accumulate into
+// per-query distances — never into stored state or addresses.
+func (f *Ferret) FeedbackFree() bool { return true }
+
 // FerretOutput is the per-query result sets (database image ids). Error is
 // 1 - |approx ∩ precise| / |precise| averaged over queries.
 type FerretOutput struct {

@@ -37,6 +37,12 @@ func (f *Fluidanimate) Name() string { return "fluidanimate" }
 // FloatData implements Workload.
 func (f *Fluidanimate) FloatData() bool { return true }
 
+// FeedbackFree implements Workload: densities computed from annotated
+// neighbour-position loads are stored and re-loaded in the force pass, and
+// updated positions (which re-enter as annotated neighbour loads and drive
+// the cell reordering) carry the approximation across timesteps.
+func (f *Fluidanimate) FeedbackFree() bool { return false }
+
 // FluidanimateOutput is the final cell index of every particle. The paper's
 // metric: percentage of particles in a different cell than precise execution.
 type FluidanimateOutput struct {

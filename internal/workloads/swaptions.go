@@ -35,6 +35,11 @@ func (s *Swaptions) Name() string { return "swaptions" }
 // FloatData implements Workload.
 func (s *Swaptions) FloatData() bool { return true }
 
+// FeedbackFree implements Workload: the annotated maturity load selects
+// the forward-curve index to read (and the tenor bounds the annuity loop),
+// so an approximated parameter changes the addresses of later accesses.
+func (s *Swaptions) FeedbackFree() bool { return false }
+
 // SwaptionsOutput is the list of swaption prices. The paper's metric:
 // per-price relative error, averaged with equal weights.
 type SwaptionsOutput struct {

@@ -23,6 +23,18 @@ type Workload interface {
 	// (blackscholes, ferret, fluidanimate, swaptions) or integer
 	// (bodytrack, canneal, x264), per §V-A.
 	FloatData() bool
+	// FeedbackFree reports whether the kernel's annotated access stream —
+	// the (PC, address, precise value) sequence the simulator observes —
+	// is invariant under approximation. §IV's annotation rules already
+	// keep approximate data out of addresses, branches and denominators;
+	// a kernel is additionally feedback-free when no value derived from
+	// an approximated load is ever stored and later re-observed through
+	// an annotated access, and no loaded value steers which accesses
+	// happen. Feedback-free kernels can be simulated from one recorded
+	// precise trace under any approximator configuration; kernels with
+	// feedback must re-execute per design point so approximated values
+	// propagate into the stream.
+	FeedbackFree() bool
 	// Run executes the kernel, issuing accesses through the concrete
 	// phase-1 simulator — kernels are the hot loop of every figure, so
 	// they bypass the Memory interface entirely (trace capture lives

@@ -48,6 +48,12 @@ func (x *X264) Name() string { return "x264" }
 // FloatData implements Workload.
 func (x *X264) FloatData() bool { return false }
 
+// FeedbackFree implements Workload: the reconstructed reference frame is
+// written by the encoder loop and re-loaded as the annotated SAD/half-pel
+// reference pixels, and motion-search decisions taken on approximated SADs
+// steer which candidate rows are loaded next.
+func (x *X264) FeedbackFree() bool { return false }
+
 // X264Output carries the encoder quality/rate results: per-frame PSNR of
 // the reconstruction against the raw input, and the bit-cost proxy. Error:
 // equal-weighted relative change in mean PSNR and bit rate (§IV).

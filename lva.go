@@ -219,6 +219,27 @@ func RunCacheCounters() RunCacheStats { return experiments.RunCacheCounters() }
 // counters, restoring process-cold behaviour (for tests and benchmarks).
 func ResetRunCache() { experiments.ResetRunCache() }
 
+// TraceStats is a snapshot of the grid-trace store counters: streams
+// recorded, design points served from recorded footers, replay passes and
+// points, and counter points that still executed the kernel.
+type TraceStats = experiments.TraceStats
+
+// TraceCounters reports how the record-once trace store served the counter
+// figures' design points.
+func TraceCounters() TraceStats { return experiments.TraceCounters() }
+
+// SetReplayEnabled toggles the record-once/replay-many grid pipeline for
+// counter figures. Enabled by default; disabled, every design point
+// executes its kernel exactly as before the trace store existed.
+func SetReplayEnabled(on bool) { experiments.SetReplayEnabled(on) }
+
+// SetTraceDir routes grid-stream recordings to dir until the next call
+// (empty restores the default per-process temp directory). Recordings
+// found there are trusted and served without re-simulating, so pointing
+// successive processes at one directory — or setting LVA_TRACE_DIR —
+// makes every counter figure warm-start.
+func SetTraceDir(dir string) { experiments.SetTraceDir(dir) }
+
 // MetricsSnapshot is a frozen, name-sorted view of the observability
 // registry (see internal/obs).
 type MetricsSnapshot = obs.Snapshot
