@@ -11,9 +11,12 @@
 # `./ci.sh bench [-baseline FILE]` instead runs the benchmark suite once
 # (-benchtime=1x), writes the machine-readable go-test event stream to
 # BENCH_<stamp>.json, and regenerates every figure with `lvaexp -metrics
-# -timeline` so the deterministic metrics snapshot (METRICS_<stamp>.json)
-# and the Perfetto-loadable run timeline (TIMELINE_<stamp>.json) are
-# archived next to it. With -baseline it then compares the fresh snapshot
+# -timeline -manifest` so the deterministic metrics snapshot
+# (METRICS_<stamp>.json), the Perfetto-loadable run timeline
+# (TIMELINE_<stamp>.json), and the provenance manifest (PROV_<stamp>.json)
+# are archived next to it; the manifest is then schema-validated and
+# route-reconciled via `lvareport -provenance`, which fails the run on any
+# drift. With -baseline it then compares the fresh snapshot
 # against FILE via cmd/benchdiff and FAILS on a >15% wall-time regression
 # in any benchmark slower than 1 ms — the perf gate. CI runs this
 # blocking; set BENCHDIFF_FLAGS=-warn-only to demote the compare to
@@ -48,10 +51,17 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "ci.sh: benchmark snapshot written to ${out}"
     metrics="METRICS_${stamp}.json"
     tl="TIMELINE_${stamp}.json"
-    echo "==> lvaexp -metrics -timeline (full registry + run timeline) -> ${metrics}, ${tl}"
-    go run ./cmd/lvaexp -metrics "${metrics}" -timeline "${tl}" all > /dev/null
+    prov="PROV_${stamp}.json"
+    echo "==> lvaexp -metrics -timeline -manifest (full registry + timeline + provenance) -> ${metrics}, ${tl}, ${prov}"
+    go run ./cmd/lvaexp -metrics "${metrics}" -timeline "${tl}" -manifest "${prov}" all > /dev/null
     echo "ci.sh: metrics snapshot written to ${metrics}"
     echo "ci.sh: run timeline written to ${tl} (open at https://ui.perfetto.dev)"
+    echo "ci.sh: provenance manifest written to ${prov}"
+    # Blocking audit gate: the manifest must parse against the schema and
+    # its per-route record counts must reconcile exactly with the embedded
+    # trace-store counters. A failure means an engine path evaluated a
+    # design point without emitting (or mis-attributing) its provenance.
+    step go run ./cmd/lvareport -provenance "${prov}"
     if [[ -n "${baseline}" ]]; then
         # BENCHDIFF_FLAGS=-warn-only turns the gate advisory (escape hatch).
         echo "==> benchdiff ${baseline} -> ${out}"

@@ -174,11 +174,12 @@ func main() {
 			name, o.NsPerOp, n.NsPerOp, delta*100, allocs, mark)
 	}
 
-	for name, r := range oldRes {
-		if _, ok := newRes[name]; !ok && r.NsPerOp >= *minNs {
-			fmt.Printf("%-40s missing from new snapshot\n", name)
-		}
-	}
+	// Coverage warnings: a benchmark present in only one snapshot can't be
+	// compared, which usually means it was renamed, deleted, or the run was
+	// truncated. Warn in both directions (never gate — a rename is not a
+	// regression) so a silently shrinking benchmark suite is visible.
+	warnMissing(oldRes, newRes, "missing from new snapshot (deleted or renamed?)")
+	warnMissing(newRes, oldRes, "missing from baseline (new benchmark, no comparison)")
 
 	if failed > 0 {
 		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%% ns/op or %.0f%% allocs/op\n",
@@ -191,4 +192,19 @@ func main() {
 	}
 	fmt.Printf("benchdiff: no regression beyond %.0f%% ns/op (floor %.0fms) or %.0f%% allocs/op (floor %.0f allocs)\n",
 		*maxRegress*100, *minNs/1e6, *maxAllocRegress*100, *minAllocs)
+}
+
+// warnMissing prints a sorted warning line for every benchmark present in
+// have but absent from other.
+func warnMissing(have, other map[string]result, why string) {
+	var names []string
+	for name := range have {
+		if _, ok := other[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-40s warning: %s\n", name, why)
+	}
 }

@@ -34,6 +34,7 @@ func main() {
 	timelineOut := flag.String("timeline", "", "capture a Chrome trace-event run timeline (load in Perfetto) to this file")
 	attrOut := flag.String("attr", "", "write a per-site/per-epoch attribution snapshot (JSON) to this file")
 	attrWindow := flag.Int("attr-window", 0, "epoch window in annotated loads for -attr time-series (0 = default, <0 = sites only)")
+	manifestOut := flag.String("manifest", "", "record run provenance and write the NDJSON manifest to this file")
 	flag.Parse()
 
 	// -metrics implies full instrumentation: enable before any simulator is
@@ -50,6 +51,9 @@ func main() {
 	}
 	if *timelineOut != "" {
 		experiments.StartTimeline()
+	}
+	if *manifestOut != "" {
+		experiments.EnableProvenance()
 	}
 	if *pprofAddr != "" {
 		addr, err := obs.ServeDebug(*pprofAddr)
@@ -150,6 +154,19 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lvaexp: write attribution:", err)
+			os.Exit(1)
+		}
+	}
+	if *manifestOut != "" {
+		f, err := os.Create(*manifestOut)
+		if err == nil {
+			err = experiments.WriteProvManifest(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp: write manifest:", err)
 			os.Exit(1)
 		}
 	}

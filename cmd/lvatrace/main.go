@@ -177,6 +177,8 @@ func statGrid(path string, decode bool) error {
 	}
 	var accesses uint64
 	pcs := map[uint64]struct{}{}
+	minChunk, maxChunk := 0, 0
+	var minPer, maxPer float64
 	for {
 		chunk, _, err := gr.Next()
 		if err == io.EOF {
@@ -191,11 +193,37 @@ func statGrid(path string, decode bool) error {
 				pcs[a.PC] = struct{}{}
 			}
 		}
+		cb := gr.LastChunkBytes()
+		if minChunk == 0 || cb < minChunk {
+			minChunk = cb
+		}
+		if cb > maxChunk {
+			maxChunk = cb
+		}
+		if len(chunk) > 0 {
+			per := float64(cb) / float64(len(chunk))
+			if minPer == 0 || per < minPer {
+				minPer = per
+			}
+			if per > maxPer {
+				maxPer = per
+			}
+		}
 	}
 	if accesses != hdr.Accesses {
 		return fmt.Errorf("decoded %d accesses, footer says %d", accesses, hdr.Accesses)
 	}
 	fmt.Printf("  decode ok: %d accesses, %d static approximate-load PCs\n", accesses, len(pcs))
+	chunks, decAccesses, decBytes := gr.DecodedStats()
+	if chunks > 0 && decAccesses > 0 {
+		mean := float64(decBytes) / float64(chunks)
+		per := float64(decBytes) / float64(decAccesses)
+		fmt.Printf("  chunk sizes: min=%s mean=%s max=%s (%d chunks, framing included)\n",
+			byteSize(int64(minChunk)), byteSize(int64(mean)), byteSize(int64(maxChunk)), chunks)
+		fmt.Printf("  bytes/access: min=%.2f mean=%.2f max=%.2f per chunk\n", minPer, per, maxPer)
+		fmt.Printf("  compression: %.2fx vs flat 30 B/access (%s vs %s)\n",
+			30/per, byteSize(int64(decAccesses*30)), byteSize(int64(decBytes)))
+	}
 	return nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"time"
 
 	"lva/internal/core"
 	"lva/internal/memsim"
 	"lva/internal/obs/attr"
+	"lva/internal/obs/prov"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/workloads"
@@ -47,6 +49,8 @@ type ctrReq struct {
 	route ctrRoute
 	kind  string        // stream kind, header route
 	cfg   memsim.Config // simulator config, replay route
+	key   string        // canonical Run* fingerprint of the design point
+	why   string        // provenance justification of the chosen route
 	exec  func() RunResult
 	out   *memsim.Result
 }
@@ -57,6 +61,7 @@ func (b *batch) ctrPrecisePoint(w workloads.Workload) *memsim.Result {
 	out := new(memsim.Result)
 	b.ctrs = append(b.ctrs, ctrReq{
 		label: "precise/" + w.Name(), w: w, route: ctrHeader, kind: streamPrecise,
+		key: runKey("precise", w, "", DefaultSeed), why: provWhyPrecise,
 		exec: func() RunResult { return RunPrecise(w, DefaultSeed) },
 		out:  out,
 	})
@@ -76,19 +81,21 @@ func (b *batch) ctrPrecise() []*memsim.Result {
 // cheapest exact route for its configuration and workload.
 func (b *batch) ctrLVAPoint(label string, w workloads.Workload, cfg core.Config) *memsim.Result {
 	out := new(memsim.Result)
+	cfgStr := fmt.Sprintf("%#v", cfg)
 	req := ctrReq{label: label, w: w, out: out,
+		key:  runKey("lva", w, cfgStr, DefaultSeed),
 		exec: func() RunResult { return RunLVA(w, cfg, DefaultSeed) }}
 	switch {
-	case fmt.Sprintf("%#v", cfg) == fmt.Sprintf("%#v", BaselineFor(w)):
-		req.route, req.kind = ctrHeader, streamLVABase
+	case cfgStr == fmt.Sprintf("%#v", BaselineFor(w)):
+		req.route, req.kind, req.why = ctrHeader, streamLVABase, provWhyBaseline
 	case w.FeedbackFree():
-		req.route = ctrReplay
+		req.route, req.why = ctrReplay, provWhyFeedbackFree
 		mc := memsim.DefaultConfig()
 		mc.Attach = memsim.AttachLVA
 		mc.Approx = cfg
 		req.cfg = mc
 	default:
-		req.route = ctrExec
+		req.route, req.why = ctrExec, provWhyFeedback
 	}
 	b.ctrs = append(b.ctrs, req)
 	return out
@@ -117,6 +124,7 @@ func (b *batch) ctrLVP(label string, cfgFor func(w workloads.Workload) core.Conf
 		w := w
 		b.ctrs = append(b.ctrs, ctrReq{
 			label: label + "/" + w.Name(), w: w, route: ctrReplay, cfg: mc,
+			key: runKey("lvp", w, fmt.Sprintf("%#v", cfg), DefaultSeed), why: provWhyLVP,
 			exec: func() RunResult { return RunLVP(w, cfg, DefaultSeed) },
 			out:  r,
 		})
@@ -139,6 +147,7 @@ func (b *batch) ctrPrefetch(label string, degree int) []*memsim.Result {
 		w := w
 		b.ctrs = append(b.ctrs, ctrReq{
 			label: label + "/" + w.Name(), w: w, route: ctrReplay, cfg: mc,
+			key: prefetchKey(w, degree, DefaultSeed), why: provWhyPrefetch,
 			exec: func() RunResult { return RunPrefetch(w, degree, DefaultSeed) },
 			out:  r,
 		})
@@ -158,10 +167,19 @@ func (b *batch) scheduleCtrs() {
 	if len(reqs) == 0 {
 		return
 	}
+	fig := b.fig
 	if !replayEnabled() {
 		for i := range reqs {
 			r := &reqs[i]
-			b.add(r.label, func() { *r.out = r.exec().Sim })
+			b.addQ(r.label, func(queued time.Duration) {
+				pc := provBegin(queued)
+				*r.out = r.exec().Sim
+				if pc.on() {
+					pc.point(fig, r.label, "run", prov.RouteExec, prov.CounterNone,
+						provWhyReplayOff, r.key, nil, provStagesRunExec, "")
+					pc.stage("exec "+fig+"/"+r.label, "", "", map[string]any{"route": "exec"})
+				}
+			})
 		}
 		return
 	}
@@ -187,31 +205,44 @@ func (b *batch) scheduleCtrs() {
 			}
 			rgroups[r.w.Name()] = append(rgroups[r.w.Name()], r)
 		default:
-			b.add(r.label, func() {
+			b.addQ(r.label, func(queued time.Duration) {
+				pc := provBegin(queued)
 				*r.out = r.exec().Sim
 				traceStats.execPoints.Add(1)
+				if pc.on() {
+					pc.point(fig, r.label, "ctr", prov.RouteExec, prov.CounterExec,
+						r.why, r.key, nil, provStagesCtrExec, "")
+					pc.stage("exec "+fig+"/"+r.label, "", "", map[string]any{"route": "exec", "why": r.why})
+				}
 			})
 		}
 	}
 	for _, k := range horder {
 		group := hgroups[k]
 		kind := k.kind
-		b.add("grid/"+k.name+"/"+kind, func() { serveHeaders(kind, group) })
+		b.addQ("grid/"+k.name+"/"+kind, func(queued time.Duration) { serveHeaders(fig, kind, group, queued) })
 	}
 	for _, name := range rorder {
 		group := rgroups[name]
-		b.add("grid/"+name+"/replay", func() { serveReplay(group) })
+		b.addQ("grid/"+name+"/replay", func(queued time.Duration) { serveReplay(fig, group, queued) })
 	}
 }
 
 // serveHeaders resolves a header group from its recorded stream's footer
 // counters. ensureStream falls back to (cached, capturing) execution when
 // no recording exists yet, so res is always the exact design-point result.
-func serveHeaders(kind string, group []*ctrReq) {
+func serveHeaders(fig, kind string, group []*ctrReq, queued time.Duration) {
+	pc := provBegin(queued)
 	st := ensureStream(kind, group[0].w, DefaultSeed)
 	for _, r := range group {
 		*r.out = st.res
 		traceStats.headerHits.Add(1)
+		pc.point(fig, r.label, "ctr", prov.RouteFooter, prov.CounterFooter,
+			r.why, r.key, st, provStagesFooter, "")
+	}
+	if pc.on() {
+		pc.stage("footer "+kind+"/"+group[0].w.Name(), "f", st.hdr.Key,
+			map[string]any{"route": "footer", "figure": fig, "points": len(group)})
 	}
 }
 
@@ -228,30 +259,50 @@ func replayKey(w workloads.Workload, cfg memsim.Config, seed uint64) string {
 // arithmetic. Points an earlier pass already replayed are served from the
 // replay memo and skip the decode entirely. Any failure (no recording,
 // disk or decode error) falls back to executing every point.
-func serveReplay(group []*ctrReq) {
+func serveReplay(fig string, group []*ctrReq, queued time.Duration) {
 	w := group[0].w
+	pc := provBegin(queued)
+	var pst *gridStream
+	if pc.on() {
+		// Resolve the artifact identity up front so memo-served points
+		// carry it too. The cell is warm whenever the memo has entries
+		// (both are reset together), so this costs no extra recording.
+		pst = ensureStream(streamPrecise, w, DefaultSeed)
+	}
 	pending := group[:0:0]
 	for _, r := range group {
 		if v, ok := replayCells.Load(replayKey(r.w, r.cfg, DefaultSeed)); ok {
 			*r.out = v.(memsim.Result)
 			traceStats.replayHits.Add(1)
+			pc.point(fig, r.label, "ctr", prov.RouteReplay, prov.CounterReplayed,
+				r.why, r.key, pst, provStagesReplay, "memo")
 			continue
 		}
 		pending = append(pending, r)
 	}
 	if len(pending) == 0 {
+		if pc.on() {
+			pc.stage("replay "+w.Name(), "f", pst.hdr.Key,
+				map[string]any{"route": "replay", "figure": fig, "points": len(group), "served": "memo"})
+		}
 		return
 	}
 	group = pending
 	st := ensureStream(streamPrecise, w, DefaultSeed)
-	execAll := func() {
+	execAll := func(why string) {
 		for _, r := range group {
 			*r.out = r.exec().Sim
 			traceStats.execPoints.Add(1)
+			pc.point(fig, r.label, "ctr", prov.RouteExec, prov.CounterExec,
+				why, r.key, nil, provStagesCtrExec, "")
+		}
+		if pc.on() {
+			pc.stage("exec "+fig+"/"+w.Name(), "", "",
+				map[string]any{"route": "exec", "why": why, "points": len(group)})
 		}
 	}
 	if st.path == "" {
-		execAll()
+		execAll(provWhyNoStream)
 		return
 	}
 	sims := make([]*memsim.Sim, len(group))
@@ -265,7 +316,7 @@ func serveReplay(group []*ctrReq) {
 	}
 	f, err := os.Open(st.path)
 	if err != nil {
-		execAll()
+		execAll(provWhyReplayFail)
 		return
 	}
 	defer f.Close()
@@ -274,7 +325,7 @@ func serveReplay(group []*ctrReq) {
 		err = memsim.Replay(gr, st.hdr.Instructions, sims)
 	}
 	if err != nil {
-		execAll()
+		execAll(provWhyReplayFail)
 		return
 	}
 	for i, r := range group {
@@ -285,29 +336,52 @@ func serveReplay(group []*ctrReq) {
 			attr.Publish(recs[i])
 		}
 		traceStats.replayPoints.Add(1)
+		pc.point(fig, r.label, "ctr", prov.RouteReplay, prov.CounterReplayed,
+			r.why, r.key, st, provStagesReplay, "fresh")
 	}
 	traceStats.replayPasses.Add(1)
+	if pc.on() {
+		_, _, decodedBytes := gr.DecodedStats()
+		pc.l.AddDecodedBytes(decodedBytes)
+		pc.stage("replay "+w.Name(), "f", st.hdr.Key,
+			map[string]any{"route": "replay", "figure": fig, "points": len(group), "bytes_decoded": decodedBytes})
+	}
 }
 
 // replayLVAPoint simulates one LVA design point by replaying the
 // workload's precise stream through a single fresh simulator (RunSweep's
 // CountersOnly path), falling back to the memoized execution when no
-// recording is available. Callers must hold a gate slot.
-func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64) memsim.Result {
+// recording is available. Callers must hold a gate slot; queued is the
+// slot wait, attached to the point's provenance cost.
+func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64, queued time.Duration) memsim.Result {
 	mc := memsim.DefaultConfig()
 	mc.Attach = memsim.AttachLVA
 	mc.Approx = cfg
+	pc := provBegin(queued)
+	key, label := "", ""
+	if pc.on() {
+		key = runKey("lva", w, fmt.Sprintf("%#v", cfg), seed)
+		label = "lva/" + w.Name()
+	}
 	if v, ok := replayCells.Load(replayKey(w, mc, seed)); ok {
 		traceStats.replayHits.Add(1)
+		if pc.on() {
+			pst := ensureStream(streamPrecise, w, seed)
+			pc.point("sweep", label, "sweep", prov.RouteReplay, prov.CounterReplayed,
+				provWhyFeedbackFree, key, pst, provStagesSweepReplay, "memo")
+		}
 		return v.(memsim.Result)
 	}
 	st := ensureStream(streamPrecise, w, seed)
-	execPoint := func() memsim.Result {
+	execPoint := func(why string) memsim.Result {
 		traceStats.execPoints.Add(1)
-		return RunLVA(w, cfg, seed).Sim
+		r := RunLVA(w, cfg, seed).Sim
+		pc.point("sweep", label, "sweep", prov.RouteExec, prov.CounterExec,
+			why, key, nil, provStagesSweepExec, "")
+		return r
 	}
 	if st.path == "" {
-		return execPoint()
+		return execPoint(provWhyNoStream)
 	}
 	sim := memsim.New(mc)
 	rec := attrRecorder(w, mc, seed)
@@ -316,7 +390,7 @@ func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64) memsim.R
 	}
 	f, err := os.Open(st.path)
 	if err != nil {
-		return execPoint()
+		return execPoint(provWhyReplayFail)
 	}
 	defer f.Close()
 	gr, err := trace.NewGridReader(bufio.NewReaderSize(f, 1<<16))
@@ -324,7 +398,7 @@ func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64) memsim.R
 		err = memsim.Replay(gr, st.hdr.Instructions, []*memsim.Sim{sim})
 	}
 	if err != nil {
-		return execPoint()
+		return execPoint(provWhyReplayFail)
 	}
 	if rec != nil {
 		attr.Publish(rec)
@@ -333,5 +407,13 @@ func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64) memsim.R
 	traceStats.replayPoints.Add(1)
 	res := sim.Result()
 	replayCells.Store(replayKey(w, mc, seed), res)
+	if pc.on() {
+		_, _, decodedBytes := gr.DecodedStats()
+		pc.l.AddDecodedBytes(decodedBytes)
+		pc.point("sweep", label, "sweep", prov.RouteReplay, prov.CounterReplayed,
+			provWhyFeedbackFree, key, st, provStagesSweepReplay, "fresh")
+		pc.stage("replay sweep/"+w.Name(), "f", st.hdr.Key,
+			map[string]any{"route": "replay", "figure": "sweep", "bytes_decoded": decodedBytes})
+	}
 	return res
 }

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 
 	"lva/internal/fullsys"
 	"lva/internal/memsim"
+	"lva/internal/obs/prov"
 	"lva/internal/trace"
 	"lva/internal/workloads"
 )
@@ -58,14 +60,34 @@ func cachedTrace(w workloads.Workload) *trace.Trace {
 // fullsys never holds the flat trace in memory — and falls back to the
 // materialized in-memory capture when no recording is available.
 func runFullsys(w workloads.Workload, cfg fullsys.Config) fullsys.Result {
+	pc := provBegin(0)
+	label := "precise"
+	if cfg.Approx != nil {
+		label = "lva-d" + strconv.Itoa(cfg.Approx.Degree)
+	}
 	if replayEnabled() {
 		if st := ensureStream(streamPrecise, w, DefaultSeed); st.path != "" {
 			if r, err := streamFullsys(cfg, st); err == nil {
+				if pc.on() {
+					key := runKey("fullsys", w, label, DefaultSeed)
+					pc.point("fullsys", w.Name()+"/"+label, "fullsys", prov.RouteReplay,
+						prov.CounterNone, provWhyStream, key, st, provStagesStream, "")
+					pc.stage("fullsys "+w.Name()+"/"+label, "f", st.hdr.Key,
+						map[string]any{"route": "replay", "workload": w.Name()})
+				}
 				return r
 			}
 		}
 	}
-	return fullsys.New(cfg).Run(cachedTrace(w))
+	r := fullsys.New(cfg).Run(cachedTrace(w))
+	if pc.on() {
+		key := runKey("fullsys", w, label, DefaultSeed)
+		pc.point("fullsys", w.Name()+"/"+label, "fullsys", prov.RouteExec,
+			prov.CounterNone, provWhyCapture, key, nil, provStagesRunExec, "")
+		pc.stage("fullsys "+w.Name()+"/"+label, "", "",
+			map[string]any{"route": "exec", "workload": w.Name()})
+	}
+	return r
 }
 
 func streamFullsys(cfg fullsys.Config, st *gridStream) (fullsys.Result, error) {

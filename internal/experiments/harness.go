@@ -58,10 +58,15 @@ func RunLVP(w workloads.Workload, coreCfg core.Config, seed uint64) RunResult {
 	})
 }
 
+// prefetchKey is the canonical fingerprint of a GHB-prefetcher point.
+func prefetchKey(w workloads.Workload, degree int, seed uint64) string {
+	return runKey("prefetch", w, fmt.Sprintf("%#v|degree=%d", prefetch.DefaultConfig(), degree), seed)
+}
+
 // RunPrefetch executes the kernel with the GHB prefetcher at the given
 // degree (applied to all data, as in the paper).
 func RunPrefetch(w workloads.Workload, degree int, seed uint64) RunResult {
-	return cachedRun(runKey("prefetch", w, fmt.Sprintf("%#v|degree=%d", prefetch.DefaultConfig(), degree), seed), fmt.Sprintf("prefetch-%d/%s", degree, w.Name()), false, func() RunResult {
+	return cachedRun(prefetchKey(w, degree, seed), fmt.Sprintf("prefetch-%d/%s", degree, w.Name()), false, func() RunResult {
 		cfg := memsim.DefaultConfig()
 		cfg.Attach = memsim.AttachPrefetch
 		p := prefetch.DefaultConfig()

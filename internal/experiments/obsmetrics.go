@@ -12,9 +12,10 @@ import (
 // atomics against milliseconds of simulation, and keeping them live means
 // RunCacheCounters and the progress reporters work without any opt-in.
 type engMetrics struct {
-	cacheHits   *obs.Counter
-	cacheSims   *obs.Counter
-	preciseHits *obs.Counter
+	cacheHits    *obs.Counter
+	cacheSims    *obs.Counter
+	preciseHits  *obs.Counter
+	cacheLookups *obs.Counter
 	inflight    *obs.Gauge
 	queueWait   *obs.Histogram
 	runWall     *obs.Histogram
@@ -28,9 +29,10 @@ type engMetrics struct {
 var eng = sync.OnceValue(func() *engMetrics {
 	r := obs.Default()
 	return &engMetrics{
-		cacheHits:   r.Counter("runcache_hits", "Run* calls satisfied from the memo store"),
-		cacheSims:   r.Counter("runcache_simulated", "kernel simulations actually executed"),
-		preciseHits: r.Counter("runcache_precise_hits", "memo hits on precise baseline runs"),
+		cacheHits:    r.Counter("runcache_hits", "Run* calls satisfied from the memo store"),
+		cacheSims:    r.Counter("runcache_simulated", "kernel simulations actually executed"),
+		preciseHits:  r.Counter("runcache_precise_hits", "memo hits on precise baseline runs"),
+		cacheLookups: r.Counter("runcache_lookups", "memo-layer lookups (cachedRun entries, hit or miss)"),
 		inflight:    r.Gauge("sched_inflight", "simulations currently holding a gate slot"),
 		queueWait:   r.Histogram("sched_queue_wait_seconds", "time simulations waited for a gate slot", obs.TimeBuckets, true),
 		runWall:     r.Histogram("run_wall_seconds", "wall time of each executed kernel simulation", obs.TimeBuckets, true),

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"lva/internal/core"
+	"lva/internal/obs/prov"
 	"lva/internal/workloads"
 )
 
@@ -74,15 +76,21 @@ func release(slot int) {
 // active it also records a worker span named label on the slot's track,
 // with the queue wait attached.
 func gated(label string, fn func()) {
+	gatedQ(label, func(time.Duration) { fn() })
+}
+
+// gatedQ is gated for callers that want the queue wait (provenance
+// attaches it to the evaluation's cost record).
+func gatedQ(label string, fn func(queued time.Duration)) {
 	slot, wait := admit()
 	defer release(slot)
 	tl := timeline.Load()
 	if tl == nil {
-		fn()
+		fn(wait)
 		return
 	}
 	start := time.Now()
-	fn()
+	fn(wait)
 	tl.span(tlPidWorkers, slot, label, "task", start,
 		map[string]any{"queue_wait_us": wait.Microseconds()})
 }
@@ -90,7 +98,7 @@ func gated(label string, fn func()) {
 // task is one labelled simulation point of a batch.
 type task struct {
 	label string
-	fn    func()
+	fn    func(queued time.Duration)
 }
 
 // batch collects the simulation points of one experiment — any number of
@@ -112,6 +120,11 @@ func newBatch(fig string) batch { return batch{fig: fig} }
 
 // add schedules one labelled task for the next run call.
 func (b *batch) add(label string, fn func()) {
+	b.addQ(label, func(time.Duration) { fn() })
+}
+
+// addQ is add for tasks that consume their gate queue wait.
+func (b *batch) addQ(label string, fn func(queued time.Duration)) {
 	b.tasks = append(b.tasks, task{label: label, fn: fn})
 }
 
@@ -125,18 +138,36 @@ func (b *batch) run() {
 		wg.Add(1)
 		go func(t task) {
 			defer wg.Done()
-			gated(b.fig+"/"+t.label, t.fn)
+			gatedQ(b.fig+"/"+t.label, t.fn)
 		}(t)
 	}
 	wg.Wait()
 	b.tasks = nil
 }
 
+// runTask wraps a direct Run* task: the point executes through the run
+// cache (route exec, "run" scheduler), and when provenance is on the
+// evaluation is recorded under the canonical key that keyFn builds (keys
+// are built lazily so the disabled path does no fmt work).
+func (b *batch) runTask(label string, keyFn func() string, run func()) {
+	fig := b.fig
+	b.addQ(label, func(queued time.Duration) {
+		pc := provBegin(queued)
+		run()
+		if pc.on() {
+			pc.point(fig, label, "run", prov.RouteExec, prov.CounterNone,
+				provWhyOutputRow, keyFn(), nil, provStagesRunExec, "")
+			pc.stage("exec "+fig+"/"+label, "", "", map[string]any{"route": "exec"})
+		}
+	})
+}
+
 // one schedules a single simulation point; the returned pointer is filled
 // when run returns.
 func (b *batch) one(label string, sim func() RunResult) *RunResult {
 	out := new(RunResult)
-	b.add(label, func() { *out = sim() })
+	fig := b.fig
+	b.runTask(label, func() string { return "one|" + fig + "/" + label }, func() { *out = sim() })
 	return out
 }
 
@@ -148,7 +179,9 @@ func (b *batch) lva(label string, cfgFor func(w workloads.Workload) core.Config)
 	for i, w := range workloads.All() {
 		i, w := i, w
 		cfg := cfgFor(w)
-		b.add(label+"/"+w.Name(), func() { out[i] = RunLVA(w, cfg, DefaultSeed) })
+		b.runTask(label+"/"+w.Name(),
+			func() string { return runKey("lva", w, fmt.Sprintf("%#v", cfg), DefaultSeed) },
+			func() { out[i] = RunLVA(w, cfg, DefaultSeed) })
 	}
 	return out
 }
@@ -159,7 +192,9 @@ func (b *batch) lvp(label string, cfgFor func(w workloads.Workload) core.Config)
 	for i, w := range workloads.All() {
 		i, w := i, w
 		cfg := cfgFor(w)
-		b.add(label+"/"+w.Name(), func() { out[i] = RunLVP(w, cfg, DefaultSeed) })
+		b.runTask(label+"/"+w.Name(),
+			func() string { return runKey("lvp", w, fmt.Sprintf("%#v", cfg), DefaultSeed) },
+			func() { out[i] = RunLVP(w, cfg, DefaultSeed) })
 	}
 	return out
 }
@@ -169,7 +204,9 @@ func (b *batch) prefetch(label string, degree int) []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
-		b.add(label+"/"+w.Name(), func() { out[i] = RunPrefetch(w, degree, DefaultSeed) })
+		b.runTask(label+"/"+w.Name(),
+			func() string { return prefetchKey(w, degree, DefaultSeed) },
+			func() { out[i] = RunPrefetch(w, degree, DefaultSeed) })
 	}
 	return out
 }
@@ -179,7 +216,9 @@ func (b *batch) precise() []RunResult {
 	out := make([]RunResult, len(workloads.Names()))
 	for i, w := range workloads.All() {
 		i, w := i, w
-		b.add("precise/"+w.Name(), func() { out[i] = RunPrecise(w, DefaultSeed) })
+		b.runTask("precise/"+w.Name(),
+			func() string { return runKey("precise", w, "", DefaultSeed) },
+			func() { out[i] = RunPrecise(w, DefaultSeed) })
 	}
 	return out
 }

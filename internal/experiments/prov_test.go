@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"lva/internal/memsim"
+	"lva/internal/obs/prov"
+	"lva/internal/workloads"
+)
+
+// TestProvOffIsFree pins the cost of the disabled provenance seam: with no
+// active ledger, a full emission sequence — begin, point, stage — is one
+// atomic load plus nil checks, and allocates nothing. This is the contract
+// that lets every engine path call these helpers unconditionally.
+func TestProvOffIsFree(t *testing.T) {
+	if prov.Enabled() {
+		t.Fatal("provenance unexpectedly enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pc := provBegin(0)
+		if pc.on() {
+			t.Error("provCtx on with no ledger")
+		}
+		pc.point("fig4", "lva/canneal", "ctr", prov.RouteExec, prov.CounterNone,
+			provWhyOutputRow, "key", nil, provStagesRunExec, "")
+		pc.stage("exec fig4/lva/canneal", "", "", nil)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled provenance path allocates %.1f times per emission, want 0", allocs)
+	}
+}
+
+// provManifest renders the active ledger against the live engine counters
+// and parses it back.
+func provManifest(t *testing.T) ([]byte, *prov.Manifest) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProvManifest(&buf); err != nil {
+		t.Fatalf("WriteProvManifest: %v", err)
+	}
+	m, err := prov.ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	return buf.Bytes(), m
+}
+
+// TestProvManifestPinnedAndStable runs the three counter figures cold with
+// provenance on and checks the two core manifest contracts: the summary
+// reconciles exactly against the pinned trace-store counters (14
+// recordings / 35 footer points / 34 replayed / 15 executed — the same
+// numbers TestStreamRecordOnce pins), and a second cold run at a different
+// parallelism level renders byte-identical manifest bytes.
+func TestProvManifestPinnedAndStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three figures twice")
+	}
+	if raceEnabled {
+		t.Skip("two cold three-figure runs exceed the race budget")
+	}
+	saved := Parallelism
+	defer func() { Parallelism = saved }()
+
+	run := func(par int) []byte {
+		SetTraceDir(t.TempDir())
+		defer SetTraceDir("")
+		ResetRunCache()
+		defer ResetRunCache()
+		Parallelism = par
+		EnableProvenance()
+		defer DisableProvenance()
+		if _, err := RunAll("table1", "fig4", "fig12"); err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		b, m := provManifest(t)
+		if problems := m.Validate(); len(problems) != 0 {
+			t.Fatalf("P=%d manifest does not reconcile:\n%v", par, problems)
+		}
+		return b
+	}
+
+	a := run(1)
+	m, err := prov.ReadManifest(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	c := m.Summary.Counters
+	if c.Recordings != 14 || c.FooterPoints != 35 || c.ReplayedPoints != 34 || c.ExecPoints != 15 {
+		t.Errorf("cold counters = %+v, want 14 recordings / 35 footer / 34 replayed / 15 exec", c)
+	}
+	if m.Summary.Routes.Footer != 35 || m.Summary.Routes.Replay != 34 {
+		t.Errorf("route totals = %+v, want 35 footer / 34 replay", m.Summary.Routes)
+	}
+	for _, fr := range m.PerFigure() {
+		if fr.Evaluations == 0 {
+			t.Errorf("figure %q has zero evaluations", fr.Figure)
+		}
+	}
+
+	b := run(8)
+	if !bytes.Equal(a, b) {
+		t.Error("manifest bytes differ between P=1 and P=8 cold runs — a scheduling-dependent field leaked into the manifest")
+	}
+}
+
+// TestFigureGoldenHashesProvOn renders the full registry with provenance
+// recording active and checks every figure against the committed golden
+// hashes: observability must not perturb simulation output by a single
+// byte. The manifest produced alongside must reconcile.
+func TestFigureGoldenHashesProvOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full registry")
+	}
+	if raceEnabled {
+		t.Skip("a second full-registry render exceeds the race budget")
+	}
+	ResetRunCache()
+	defer ResetRunCache()
+	EnableProvenance()
+	defer DisableProvenance()
+
+	got := figureHashes(t)
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden: reading %s: %v", goldenPath, err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden: parsing %s: %v", goldenPath, err)
+	}
+	for id, h := range got {
+		if w, ok := want[id]; ok && h != w {
+			t.Errorf("golden: figure %q with provenance on hashed %s, want %s — observability changed simulation output", id, h, w)
+		}
+	}
+	_, m := provManifest(t)
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("full-registry manifest does not reconcile:\n%v", problems)
+	}
+}
+
+// TestTraceStoreCorruptFooterReRecords is the persistent-store resilience
+// contract: a truncated LVAG file in LVA_TRACE_DIR (a crashed writer, a
+// partial copy) must be silently re-recorded — correct results, a valid
+// recording back on disk, and a provenance record saying why — never a
+// panic or an error surfaced to the figure drivers.
+func TestTraceStoreCorruptFooterReRecords(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two kernel recordings exceed the race budget")
+	}
+	t.Setenv("LVA_TRACE_DIR", t.TempDir())
+	ResetRunCache()
+	defer ResetRunCache()
+	w, err := workloads.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := ensureStream(streamPrecise, w, DefaultSeed)
+	if st.path == "" {
+		t.Fatal("initial recording failed")
+	}
+	want := st.res
+	path := st.path
+
+	// "Next process": in-memory cells reset, the LVA_TRACE_DIR store
+	// survives — but its file was truncated to half.
+	ResetRunCache()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	EnableProvenance()
+	defer DisableProvenance()
+	st2 := ensureStream(streamPrecise, w, DefaultSeed)
+	if st2.res != want {
+		t.Errorf("re-recorded result differs from original:\nwant %+v\ngot  %+v", want, st2.res)
+	}
+	if st2.path == "" {
+		t.Fatal("re-recording did not restore the on-disk stream")
+	}
+	key, _, _, _ := streamSpec(streamPrecise, w, DefaultSeed)
+	if _, _, err := readStreamHeader(st2.path, key); err != nil {
+		t.Errorf("re-recorded stream footer unreadable: %v", err)
+	}
+	if ts := TraceCounters(); ts.Recordings != 1 {
+		t.Errorf("Recordings = %d, want 1 (the re-recording)", ts.Recordings)
+	}
+
+	_, m := provManifest(t)
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("manifest does not reconcile:\n%v", problems)
+	}
+	found := false
+	for _, r := range m.Records {
+		if r.Figure == "tracestore" && r.Why == provWhyReRecord {
+			found = true
+			if r.Counter != prov.CounterRecording {
+				t.Errorf("re-record provenance counter = %q, want %q", r.Counter, prov.CounterRecording)
+			}
+		}
+	}
+	if !found {
+		t.Error("no provenance record justifying the re-recording (want why=re-recorded)")
+	}
+}
+
+// TestTraceStoreCorruptChunkFallsBackToExec covers the nastier corruption:
+// chunk data is garbage but the footer still parses, so the store trusts
+// the file and the failure only surfaces mid-decode. The replay path must
+// fall back to kernel execution with the exact same result — a partial
+// stream is never served — and the provenance record must say the replay
+// failed.
+func TestTraceStoreCorruptChunkFallsBackToExec(t *testing.T) {
+	if raceEnabled {
+		t.Skip("recording plus fallback execution exceed the race budget")
+	}
+	t.Setenv("LVA_TRACE_DIR", t.TempDir())
+	ResetRunCache()
+	defer ResetRunCache()
+	w, err := workloads.ByName("blackscholes") // feedback-free: LVA replays
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := ensureStream(streamPrecise, w, DefaultSeed)
+	if st.path == "" {
+		t.Fatal("recording failed")
+	}
+	// "Next process": the recording survives in LVA_TRACE_DIR, the
+	// counters and cells reset.
+	ResetRunCache()
+	// Overwrite the first chunk header (right after the 8-byte file
+	// prelude) with an absurd access count. The footer at the tail is
+	// untouched, so readStreamHeader still succeeds and the store trusts
+	// the recording.
+	f, err := os.OpenFile(st.path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xff}, 8), 8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	key, _, _, _ := streamSpec(streamPrecise, w, DefaultSeed)
+	if _, _, err := readStreamHeader(st.path, key); err != nil {
+		t.Fatalf("test setup: footer should still read after chunk corruption: %v", err)
+	}
+
+	cfg := BaselineFor(w)
+	cfg.GHBSize = 2
+	cfg.Degree = 4
+
+	EnableProvenance()
+	defer DisableProvenance()
+	got := replayLVAPoint(w, cfg, DefaultSeed, 0)
+
+	mc := memsim.DefaultConfig()
+	mc.Attach = memsim.AttachLVA
+	mc.Approx = cfg
+	sim := memsim.New(mc)
+	w.Run(sim, DefaultSeed)
+	if want := sim.Result(); got != want {
+		t.Errorf("fallback result differs from direct execution:\nwant %+v\ngot  %+v", want, got)
+	}
+	if ts := TraceCounters(); ts.ExecPoints != 1 || ts.ReplayPoints != 0 {
+		t.Errorf("counters = %+v, want 1 exec point and 0 replay points", ts)
+	}
+
+	_, m := provManifest(t)
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("manifest does not reconcile:\n%v", problems)
+	}
+	found := false
+	for _, r := range m.Records {
+		if r.Figure == "sweep" && r.Why == provWhyReplayFail && r.Route == string(prov.RouteExec) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no provenance record justifying the exec fallback (want why=replay failed)")
+	}
+}

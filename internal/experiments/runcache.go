@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lva/internal/obs/prov"
 	"lva/internal/workloads"
 )
 
@@ -76,6 +77,7 @@ func runKey(attach string, w workloads.Workload, cfg string, seed uint64) string
 // simulations that actually execute.
 func cachedRun(key, label string, precise bool, sim func() RunResult) RunResult {
 	m := eng()
+	m.cacheLookups.Inc()
 	timed := func() RunResult {
 		tl := timeline.Load()
 		start := time.Now()
@@ -89,6 +91,9 @@ func cachedRun(key, label string, precise bool, sim func() RunResult) RunResult 
 	}
 	if runCacheOff.Load() {
 		m.cacheSims.Inc()
+		if l := prov.Active(); l != nil {
+			l.Call(provFP(key), label, false)
+		}
 		return timed()
 	}
 	c, _ := runCells.LoadOrStore(key, &runCell{})
@@ -99,6 +104,9 @@ func cachedRun(key, label string, precise bool, sim func() RunResult) RunResult 
 		m.cacheSims.Inc()
 		cell.r = timed()
 	})
+	if l := prov.Active(); l != nil {
+		l.Call(provFP(key), label, hit)
+	}
 	if hit {
 		m.cacheHits.Inc()
 		if precise {
@@ -151,4 +159,5 @@ func ResetRunCache() {
 	m.cacheHits.Reset()
 	m.cacheSims.Reset()
 	m.preciseHits.Reset()
+	m.cacheLookups.Reset()
 }

@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lva/internal/core"
 	"lva/internal/memsim"
 	"lva/internal/obs"
+	"lva/internal/obs/prov"
 	"lva/internal/workloads"
 )
 
@@ -226,10 +228,20 @@ func RunSweep(spec SweepSpec, progress func(done, total int)) ([]SweepPoint, err
 				var sim memsim.Result
 				pt := j.point
 				if n.CountersOnly && replayEnabled() && j.w.FeedbackFree() {
-					gated("sweep/"+j.bench, func() { sim = replayLVAPoint(j.w, j.cfg, n.Seed) })
+					gatedQ("sweep/"+j.bench, func(queued time.Duration) {
+						sim = replayLVAPoint(j.w, j.cfg, n.Seed, queued)
+					})
 				} else {
 					var run RunResult
-					gated("sweep/"+j.bench, func() { run = RunLVA(j.w, j.cfg, n.Seed) })
+					gatedQ("sweep/"+j.bench, func(queued time.Duration) {
+						pc := provBegin(queued)
+						run = RunLVA(j.w, j.cfg, n.Seed)
+						if pc.on() {
+							pc.point("sweep", "lva/"+j.bench, "sweep", prov.RouteExec, prov.CounterNone,
+								provWhySweepExec, runKey("lva", j.w, fmt.Sprintf("%#v", j.cfg), n.Seed),
+								nil, provStagesSweepExec, "")
+						}
+					})
 					sim = run.Sim
 					if !n.CountersOnly {
 						pt.OutputError = ErrorVs(run, j.precise)

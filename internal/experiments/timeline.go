@@ -21,6 +21,7 @@ const (
 	tlPidWorkers = 1 // gate slots (tid = slot id)
 	tlPidFigures = 2 // figure drivers (tid = position in the requested id set)
 	tlPidSims    = 3 // executed simulations + run-cache hit instants
+	tlPidProv    = 4 // provenance spans: serving stages, flow-linked to recordings
 )
 
 // traceEvent is one Chrome trace-event object. Times are microseconds
@@ -33,6 +34,8 @@ type traceEvent struct {
 	Dur  int64          `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`   // flow events only
+	BP   string         `json:"bp,omitempty"`   // flow binding point ("e" on finishes)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -40,9 +43,10 @@ type traceEvent struct {
 type Timeline struct {
 	start time.Time
 
-	mu      sync.Mutex
-	events  []traceEvent
-	simTids int // virtual tid allocator for the executed-simulation lane
+	mu       sync.Mutex
+	events   []traceEvent
+	simTids  int // virtual tid allocator for the executed-simulation lane
+	provTids int // virtual tid allocator for the provenance lane
 }
 
 // timeline is the active capture (nil = off). Emission sites load it once
@@ -57,6 +61,7 @@ func StartTimeline() {
 		metaEvent(tlPidWorkers, "process_name", "gate workers"),
 		metaEvent(tlPidFigures, "process_name", "figure drivers"),
 		metaEvent(tlPidSims, "process_name", "kernel simulations"),
+		metaEvent(tlPidProv, "process_name", "provenance"),
 	)
 	timeline.Store(t)
 }
@@ -126,6 +131,34 @@ func (t *Timeline) nextSimTid() int {
 	tid := t.simTids
 	t.mu.Unlock()
 	return tid
+}
+
+// nextProvTid hands out lanes on the provenance pid.
+func (t *Timeline) nextProvTid() int {
+	t.mu.Lock()
+	t.provTids++
+	tid := t.provTids
+	t.mu.Unlock()
+	return tid
+}
+
+// flow records one end of a flow arrow bound to the span that starts at
+// start on (pid, tid): ph "s" opens the arrow at a recording span, ph
+// "f" with binding point "e" lands it on a consuming span. Both ends
+// share name/cat ("stream"/"prov") and the id derived from the stream
+// key, which is how the trace-event format pairs them.
+func (t *Timeline) flow(ph string, id uint64, pid, tid int, start time.Time) {
+	ev := traceEvent{
+		Name: "stream", Cat: "prov", Ph: ph,
+		TS:  start.Sub(t.start).Microseconds() + 1, // inside the ≥1µs span
+		PID: pid, TID: tid, ID: id,
+	}
+	if ph == "f" {
+		ev.BP = "e"
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
 }
 
 // JSON renders the timeline in the Chrome trace-event container format.

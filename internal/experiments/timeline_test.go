@@ -68,8 +68,8 @@ func TestTimelineCapture(t *testing.T) {
 			}
 		}
 	}
-	if metas != 3 {
-		t.Errorf("process_name metadata events = %d, want 3", metas)
+	if metas != 4 {
+		t.Errorf("process_name metadata events = %d, want 4", metas)
 	}
 	if figSpans != 1 {
 		t.Errorf("figure spans = %d, want 1", figSpans)

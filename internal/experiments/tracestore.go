@@ -5,7 +5,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -13,6 +15,7 @@ import (
 
 	"lva/internal/memsim"
 	"lva/internal/obs/attr"
+	"lva/internal/obs/prov"
 	"lva/internal/trace"
 	"lva/internal/workloads"
 )
@@ -176,6 +179,12 @@ type gridStream struct {
 	path string
 	hdr  trace.GridHeader
 	res  memsim.Result
+
+	// Artifact identity for provenance records, hashed lazily at most
+	// once per cell (see (*gridStream).artifact in provwire.go).
+	artOnce sync.Once
+	artHash string
+	artSize int64
 }
 
 var recCells sync.Map // kind + "|" + runKey -> *gridStream
@@ -220,12 +229,21 @@ func ensureStream(kind string, w workloads.Workload, seed uint64) *gridStream {
 	c, _ := recCells.LoadOrStore(kind+"|"+key, &gridStream{})
 	cell := c.(*gridStream)
 	cell.once.Do(func() {
+		pc := provBegin(0)
+		why := provWhyColdRecord
 		path := ""
 		if dir, err := traceDir(); err == nil {
 			path = filepath.Join(dir, streamFile(key))
-			if hdr, res, err := readStreamHeader(path, key); err == nil {
+			hdr, res, rerr := readStreamHeader(path, key)
+			if rerr == nil {
 				cell.path, cell.hdr, cell.res = path, hdr, res
 				return
+			}
+			if !errors.Is(rerr, fs.ErrNotExist) {
+				// A file exists but its footer is unreadable (truncated
+				// or corrupt persistent store): fall through and
+				// re-record over it, and say so in the provenance.
+				why = provWhyReRecord
 			}
 		}
 		recorded := false
@@ -246,7 +264,14 @@ func ensureStream(kind string, w workloads.Workload, seed uint64) *gridStream {
 			if _, hdr, err := recordStream(w, cfg, seed, key, path); err == nil {
 				cell.path, cell.hdr = path, hdr
 				eng().cacheSims.Inc()
+				recorded = true
 			}
+		}
+		if recorded && pc.on() {
+			pc.point("tracestore", kind+"/"+w.Name(), "store", prov.RouteExec,
+				prov.CounterRecording, why, key, cell, provStagesRecord, "")
+			pc.stage("record "+kind+"/"+w.Name(), "s", key,
+				map[string]any{"kind": kind, "workload": w.Name(), "why": why})
 		}
 	})
 	return cell

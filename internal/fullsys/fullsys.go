@@ -24,6 +24,7 @@ import (
 	"lva/internal/dram"
 	"lva/internal/energy"
 	"lva/internal/noc"
+	"lva/internal/obs/prov"
 	"lva/internal/trace"
 )
 
@@ -352,6 +353,7 @@ func (s *Sim) RunStream(threads int, src trace.ChunkSource) (Result, error) {
 		return false
 	}
 	eof := false
+	var chunks, accesses uint64
 	refill := func() error {
 		if eof || !needRefill() {
 			return nil
@@ -373,6 +375,8 @@ func (s *Sim) RunStream(threads int, src trace.ChunkSource) (Result, error) {
 			if err != nil {
 				return err
 			}
+			chunks++
+			accesses += uint64(len(accs))
 			for _, a := range accs {
 				c := cores[int(a.Thread)%s.cfg.Cores]
 				c.accs = append(c.accs, a)
@@ -402,6 +406,11 @@ func (s *Sim) RunStream(threads int, src trace.ChunkSource) (Result, error) {
 		s.step(next)
 	}
 
+	// One provenance cost sample per streamed run, only when a ledger is
+	// active.
+	if l := prov.Active(); l != nil {
+		l.AddStream(chunks, accesses)
+	}
 	return s.finish(cores), nil
 }
 

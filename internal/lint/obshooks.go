@@ -39,6 +39,7 @@ var hotPathPkgs = map[string]bool{
 	"lva/internal/cache":    true,
 	"lva/internal/core":     true,
 	"lva/internal/obs/attr": true,
+	"lva/internal/obs/prov": true,
 	"lva/internal/trace":    true,
 }
 
@@ -47,6 +48,7 @@ var hotPathPkgs = map[string]bool{
 // simulator build and must never grow a formatting dependency.
 var attrSeamPkgs = map[string]bool{
 	"lva/internal/obs/attr": true,
+	"lva/internal/obs/prov": true,
 }
 
 func runObshooks(p *Pass) {

@@ -1,0 +1,451 @@
+package prov
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The provenance manifest is NDJSON: one header line, the sorted
+// per-evaluation records, the sorted per-fingerprint run-cache call
+// lines, and a summary line whose counters come from the producing
+// process. Every line is rendered from a fixed-field struct and the
+// sort keys are total, so the document is byte-stable for a given
+// design grid — P=1 and P=8 runs of the same figures produce identical
+// bytes. Reconciliation (Validate) checks the document against itself
+// and against the embedded counters, so a manifest that "doesn't sum"
+// is detectable with no live process.
+
+// ManifestVersion is the schema version written and accepted.
+const ManifestVersion = 1
+
+// HeaderLine is the first manifest line.
+type HeaderLine struct {
+	Kind    string `json:"kind"` // "manifest"
+	Version int    `json:"version"`
+	Code    string `json:"code"`
+}
+
+// RecordLine is one aggregated evaluation record.
+type RecordLine struct {
+	Kind          string   `json:"kind"` // "record"
+	Figure        string   `json:"figure"`
+	Label         string   `json:"label"`
+	Route         string   `json:"route"`
+	Counter       string   `json:"counter,omitempty"`
+	Scheduler     string   `json:"scheduler"`
+	Fingerprint   string   `json:"fingerprint"`
+	Why           string   `json:"why"`
+	Artifact      string   `json:"artifact,omitempty"`
+	ArtifactSHA   string   `json:"artifact_sha256,omitempty"`
+	ArtifactBytes int64    `json:"artifact_bytes,omitempty"`
+	Code          string   `json:"code"`
+	Stages        []string `json:"stages"`
+	Count         uint64   `json:"count"`
+}
+
+// CallLine aggregates the run-cache lookups of one design-point
+// fingerprint. Route is always "cache": which individual caller won the
+// singleflight is scheduling-dependent, but the number of lookups per
+// fingerprint — and, cold, the hit split (all but the winner) — is not.
+type CallLine struct {
+	Kind        string `json:"kind"` // "call"
+	Route       string `json:"route"`
+	Label       string `json:"label"`
+	Fingerprint string `json:"fingerprint"`
+	Calls       uint64 `json:"calls"`
+	Hits        uint64 `json:"hits"`
+}
+
+// RouteTotals counts evaluations per route across the whole manifest.
+type RouteTotals struct {
+	Footer uint64 `json:"footer"`
+	Replay uint64 `json:"replay"`
+	Exec   uint64 `json:"exec"`
+}
+
+// Counters carries the producing process's deterministic engine
+// counters, the external half of the reconciliation invariant.
+type Counters struct {
+	Recordings      uint64 `json:"recordings"`
+	FooterPoints    uint64 `json:"footer_points"`
+	ReplayedPoints  uint64 `json:"replayed_points"`
+	ExecPoints      uint64 `json:"exec_points"`
+	RunCacheLookups uint64 `json:"runcache_lookups"`
+}
+
+// SummaryLine is the last manifest line.
+type SummaryLine struct {
+	Kind        string      `json:"kind"` // "summary"
+	Evaluations uint64      `json:"evaluations"`
+	SimsAvoided uint64      `json:"sims_avoided"`
+	Calls       uint64      `json:"calls"`
+	Routes      RouteTotals `json:"routes"`
+	Counters    Counters    `json:"counters"`
+}
+
+// Manifest is a parsed provenance manifest.
+type Manifest struct {
+	Header  HeaderLine
+	Records []RecordLine
+	Calls   []CallLine
+	Summary SummaryLine
+}
+
+// avoided reports how many kernel simulations a record's evaluations
+// skipped: footer and replay routes cost zero kernel arithmetic.
+func (r RecordLine) avoided() uint64 {
+	if r.Route == string(RouteFooter) || r.Route == string(RouteReplay) {
+		return r.Count
+	}
+	return 0
+}
+
+// snapshotRecords renders the ledger's aggregated records sorted by
+// (figure, label, fingerprint, route).
+func (l *Ledger) snapshotRecords() []RecordLine {
+	l.mu.Lock()
+	out := make([]RecordLine, 0, len(l.recs))
+	for _, e := range l.recs {
+		out = append(out, RecordLine{
+			Kind:          "record",
+			Figure:        e.rec.Figure,
+			Label:         e.rec.Label,
+			Route:         string(e.rec.Route),
+			Counter:       e.rec.Counter,
+			Scheduler:     e.rec.Scheduler,
+			Fingerprint:   e.rec.Fingerprint,
+			Why:           e.rec.Justification,
+			Artifact:      e.rec.Artifact,
+			ArtifactSHA:   e.rec.ArtifactSHA256,
+			ArtifactBytes: e.rec.ArtifactBytes,
+			Code:          l.code,
+			Stages:        e.rec.Stages,
+			Count:         e.count,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Figure != b.Figure {
+			return a.Figure < b.Figure
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Fingerprint != b.Fingerprint {
+			return a.Fingerprint < b.Fingerprint
+		}
+		return a.Route < b.Route
+	})
+	return out
+}
+
+// snapshotCalls renders the run-cache call lines sorted by
+// (label, fingerprint).
+func (l *Ledger) snapshotCalls() []CallLine {
+	l.mu.Lock()
+	out := make([]CallLine, 0, len(l.calls))
+	for fp, e := range l.calls {
+		out = append(out, CallLine{
+			Kind:        "call",
+			Route:       string(RouteCache),
+			Label:       e.label,
+			Fingerprint: fp,
+			Calls:       e.calls,
+			Hits:        e.hits,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// WriteManifest renders the ledger as a byte-stable NDJSON manifest,
+// embedding the producing process's counters in the summary line.
+func WriteManifest(w io.Writer, l *Ledger, c Counters) error {
+	if l == nil {
+		return errors.New("prov: no active ledger (enable provenance before running)")
+	}
+	recs := l.snapshotRecords()
+	calls := l.snapshotCalls()
+	sum := SummaryLine{Kind: "summary", Counters: c}
+	for _, r := range recs {
+		sum.Evaluations += r.Count
+		sum.SimsAvoided += r.avoided()
+		switch r.Route {
+		case string(RouteFooter):
+			sum.Routes.Footer += r.Count
+		case string(RouteReplay):
+			sum.Routes.Replay += r.Count
+		case string(RouteExec):
+			sum.Routes.Exec += r.Count
+		}
+	}
+	for _, cl := range calls {
+		sum.Calls += cl.Calls
+	}
+	bw := bufio.NewWriter(w)
+	writeLine := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := writeLine(HeaderLine{Kind: "manifest", Version: ManifestVersion, Code: l.code}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	for _, cl := range calls {
+		if err := writeLine(cl); err != nil {
+			return err
+		}
+	}
+	if err := writeLine(sum); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses an NDJSON manifest, enforcing line-level schema:
+// a version-1 header first, record/call lines, one summary last.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	m := &Manifest{}
+	sawHeader, sawSummary := false, false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if sawSummary {
+			return nil, manifestErr(lineNo, "content after summary line")
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, manifestErr(lineNo, "not a JSON object: "+err.Error())
+		}
+		switch probe.Kind {
+		case "manifest":
+			if sawHeader {
+				return nil, manifestErr(lineNo, "duplicate header")
+			}
+			if err := json.Unmarshal(line, &m.Header); err != nil {
+				return nil, manifestErr(lineNo, err.Error())
+			}
+			if m.Header.Version != ManifestVersion {
+				return nil, manifestErr(lineNo, "unsupported manifest version "+strconv.Itoa(m.Header.Version))
+			}
+			sawHeader = true
+		case "record":
+			if !sawHeader {
+				return nil, manifestErr(lineNo, "record before header")
+			}
+			var rec RecordLine
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, manifestErr(lineNo, err.Error())
+			}
+			m.Records = append(m.Records, rec)
+		case "call":
+			if !sawHeader {
+				return nil, manifestErr(lineNo, "call before header")
+			}
+			var cl CallLine
+			if err := json.Unmarshal(line, &cl); err != nil {
+				return nil, manifestErr(lineNo, err.Error())
+			}
+			m.Calls = append(m.Calls, cl)
+		case "summary":
+			if !sawHeader {
+				return nil, manifestErr(lineNo, "summary before header")
+			}
+			if err := json.Unmarshal(line, &m.Summary); err != nil {
+				return nil, manifestErr(lineNo, err.Error())
+			}
+			sawSummary = true
+		default:
+			return nil, manifestErr(lineNo, "unknown line kind "+strconv.Quote(probe.Kind))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, errors.New("prov: manifest has no header line")
+	}
+	if !sawSummary {
+		return nil, errors.New("prov: manifest has no summary line")
+	}
+	return m, nil
+}
+
+func manifestErr(line int, msg string) error {
+	return errors.New("prov: manifest line " + strconv.Itoa(line) + ": " + msg)
+}
+
+// validRoutes and validCounters bound the record vocabulary; Validate
+// additionally pins which counter each route may feed.
+var counterRoutes = map[string]string{
+	CounterRecording: string(RouteExec),
+	CounterFooter:    string(RouteFooter),
+	CounterReplayed:  string(RouteReplay),
+	CounterExec:      string(RouteExec),
+}
+
+// Validate reconciles the manifest against itself and against the
+// embedded engine counters, returning one message per problem. An empty
+// slice means every route sum matches: each figure cell's provenance is
+// consistent with what the trace store and run cache actually counted.
+func (m *Manifest) Validate() []string {
+	var problems []string
+	bad := func(msg string) { problems = append(problems, msg) }
+	var (
+		routes  RouteTotals
+		evals   uint64
+		avoided uint64
+		byCtr   = map[string]uint64{}
+		calls   uint64
+	)
+	for i, r := range m.Records {
+		at := "record " + strconv.Itoa(i) + " (" + r.Figure + "/" + r.Label + ")"
+		if r.Figure == "" || r.Label == "" || r.Fingerprint == "" || r.Why == "" || r.Scheduler == "" {
+			bad(at + ": missing required field")
+		}
+		if r.Count == 0 {
+			bad(at + ": zero count")
+		}
+		if len(r.Stages) == 0 {
+			bad(at + ": empty stage path")
+		}
+		if r.Code != m.Header.Code {
+			bad(at + ": code " + strconv.Quote(r.Code) + " != header " + strconv.Quote(m.Header.Code))
+		}
+		if (r.Artifact == "") != (r.ArtifactSHA == "") {
+			bad(at + ": artifact name and hash must come together")
+		}
+		switch r.Route {
+		case string(RouteFooter), string(RouteReplay), string(RouteExec):
+		default:
+			bad(at + ": invalid route " + strconv.Quote(r.Route))
+			continue
+		}
+		if r.Counter != CounterNone {
+			want, ok := counterRoutes[r.Counter]
+			if !ok {
+				bad(at + ": invalid counter " + strconv.Quote(r.Counter))
+			} else if want != r.Route {
+				bad(at + ": counter " + strconv.Quote(r.Counter) + " cannot ride route " + strconv.Quote(r.Route))
+			}
+		}
+		switch r.Route {
+		case string(RouteFooter):
+			routes.Footer += r.Count
+		case string(RouteReplay):
+			routes.Replay += r.Count
+		case string(RouteExec):
+			routes.Exec += r.Count
+		}
+		evals += r.Count
+		avoided += r.avoided()
+		byCtr[r.Counter] += r.Count
+	}
+	for i, c := range m.Calls {
+		at := "call " + strconv.Itoa(i) + " (" + c.Label + ")"
+		if c.Route != string(RouteCache) {
+			bad(at + ": route must be \"cache\"")
+		}
+		if c.Fingerprint == "" || c.Calls == 0 {
+			bad(at + ": missing fingerprint or zero calls")
+		}
+		if c.Hits > c.Calls {
+			bad(at + ": " + strconv.FormatUint(c.Hits, 10) + " hits exceed " + strconv.FormatUint(c.Calls, 10) + " calls")
+		}
+		calls += c.Calls
+	}
+	sum := m.Summary
+	eq := func(name string, got, want uint64) {
+		if got != want {
+			bad(name + ": manifest sums to " + strconv.FormatUint(got, 10) +
+				", summary says " + strconv.FormatUint(want, 10))
+		}
+	}
+	eq("evaluations", evals, sum.Evaluations)
+	eq("sims_avoided", avoided, sum.SimsAvoided)
+	eq("calls", calls, sum.Calls)
+	eq("routes.footer", routes.Footer, sum.Routes.Footer)
+	eq("routes.replay", routes.Replay, sum.Routes.Replay)
+	eq("routes.exec", routes.Exec, sum.Routes.Exec)
+	// The reconciliation invariant proper: per-counter record sums must
+	// equal what the trace store and run cache counted in the producing
+	// process. A mismatch means an evaluation took a route nobody
+	// recorded — exactly the silent routing regression this exists to
+	// catch.
+	eq("counter/recording vs trace-store Recordings", byCtr[CounterRecording], sum.Counters.Recordings)
+	eq("counter/footer vs trace-store HeaderHits", byCtr[CounterFooter], sum.Counters.FooterPoints)
+	eq("counter/replayed vs trace-store ReplayPoints+ReplayHits", byCtr[CounterReplayed], sum.Counters.ReplayedPoints)
+	eq("counter/exec vs trace-store ExecPoints", byCtr[CounterExec], sum.Counters.ExecPoints)
+	eq("calls vs run-cache lookups", calls, sum.Counters.RunCacheLookups)
+	return problems
+}
+
+// FigureRoutes is the per-figure route aggregation behind the
+// lvareport -provenance table.
+type FigureRoutes struct {
+	Figure      string
+	Footer      uint64
+	Replay      uint64
+	Exec        uint64
+	Evaluations uint64
+	SimsAvoided uint64
+}
+
+// PerFigure aggregates record route counts per figure, sorted by figure.
+func (m *Manifest) PerFigure() []FigureRoutes {
+	byFig := map[string]*FigureRoutes{}
+	var order []string
+	for _, r := range m.Records {
+		f := byFig[r.Figure]
+		if f == nil {
+			f = &FigureRoutes{Figure: r.Figure}
+			byFig[r.Figure] = f
+			order = append(order, r.Figure)
+		}
+		switch r.Route {
+		case string(RouteFooter):
+			f.Footer += r.Count
+		case string(RouteReplay):
+			f.Replay += r.Count
+		case string(RouteExec):
+			f.Exec += r.Count
+		}
+		f.Evaluations += r.Count
+		f.SimsAvoided += r.avoided()
+	}
+	sort.Strings(order)
+	out := make([]FigureRoutes, len(order))
+	for i, name := range order {
+		out[i] = *byFig[name]
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package prov
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sample builds a ledger carrying one of each line shape, with counters
+// that reconcile exactly.
+func sample() (*Ledger, Counters) {
+	l := New("test-code")
+	stages := []string{"schedule", "tracestore", "footer", "figure-append"}
+	l.Emit(Record{
+		Figure: "fig4", Label: "lva/canneal", Scheduler: "ctr",
+		Route: RouteFooter, Counter: CounterFooter,
+		Fingerprint: "aaaa", Justification: "baseline",
+		Artifact: "aaaa.lvag", ArtifactSHA256: "ffff", ArtifactBytes: 10,
+		Stages: stages,
+	}, Cost{WallUS: 5})
+	l.Emit(Record{
+		Figure: "fig4", Label: "lvp/canneal", Scheduler: "ctr",
+		Route: RouteReplay, Counter: CounterReplayed,
+		Fingerprint: "bbbb", Justification: "lvp",
+		Stages: stages,
+	}, Cost{Served: "fresh"})
+	l.Emit(Record{
+		Figure: "tracestore", Label: "precise/canneal", Scheduler: "store",
+		Route: RouteExec, Counter: CounterRecording,
+		Fingerprint: "cccc", Justification: "cold",
+		Stages: stages,
+	}, Cost{})
+	l.Call("cccc", "precise/canneal", false)
+	l.Call("cccc", "precise/canneal", true)
+	return l, Counters{
+		Recordings:      1,
+		FooterPoints:    1,
+		ReplayedPoints:  1,
+		ExecPoints:      0,
+		RunCacheLookups: 2,
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	l, c := sample()
+	var a, b bytes.Buffer
+	if err := WriteManifest(&a, l, c); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	if err := WriteManifest(&b, l, c); err != nil {
+		t.Fatalf("WriteManifest (second): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same ledger differ — manifest is not byte-stable")
+	}
+	m, err := ReadManifest(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if m.Header.Code != "test-code" || m.Header.Version != ManifestVersion {
+		t.Errorf("header = %+v", m.Header)
+	}
+	if len(m.Records) != 3 || len(m.Calls) != 1 {
+		t.Fatalf("parsed %d records, %d calls; want 3, 1", len(m.Records), len(m.Calls))
+	}
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("Validate on a consistent manifest: %v", problems)
+	}
+	if m.Summary.Evaluations != 3 || m.Summary.SimsAvoided != 2 || m.Summary.Calls != 2 {
+		t.Errorf("summary = %+v", m.Summary)
+	}
+	pf := m.PerFigure()
+	if len(pf) != 2 || pf[0].Figure != "fig4" || pf[0].Footer != 1 || pf[0].Replay != 1 ||
+		pf[1].Figure != "tracestore" || pf[1].Exec != 1 {
+		t.Errorf("PerFigure = %+v", pf)
+	}
+}
+
+func TestEmitAggregatesIdenticalRecords(t *testing.T) {
+	l := New("c")
+	r := Record{Figure: "f", Label: "l", Scheduler: "ctr", Route: RouteReplay,
+		Counter: CounterReplayed, Fingerprint: "ab", Justification: "j",
+		Stages: []string{"s"}}
+	l.Emit(r, Cost{Served: "memo"})
+	l.Emit(r, Cost{Served: "fresh"})
+	recs := l.snapshotRecords()
+	if len(recs) != 1 || recs[0].Count != 2 {
+		t.Fatalf("snapshot = %+v, want one record with count 2", recs)
+	}
+}
+
+func TestValidateCatchesMismatches(t *testing.T) {
+	render := func(l *Ledger, c Counters) *Manifest {
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, l, c); err != nil {
+			t.Fatalf("WriteManifest: %v", err)
+		}
+		m, err := ReadManifest(&buf)
+		if err != nil {
+			t.Fatalf("ReadManifest: %v", err)
+		}
+		return m
+	}
+
+	// Counter drift: the engine says 5 footer points, records sum to 1.
+	l, c := sample()
+	c.FooterPoints = 5
+	m := render(l, c)
+	if problems := m.Validate(); len(problems) == 0 ||
+		!strings.Contains(strings.Join(problems, "\n"), "counter/footer") {
+		t.Errorf("footer drift not reported: %v", problems)
+	}
+
+	// Call-vs-lookup drift.
+	l, c = sample()
+	c.RunCacheLookups = 7
+	if problems := render(l, c).Validate(); len(problems) == 0 {
+		t.Error("run-cache lookup drift not reported")
+	}
+
+	// A record whose counter rides the wrong route.
+	l, c = sample()
+	l.Emit(Record{Figure: "f", Label: "l", Scheduler: "ctr", Route: RouteExec,
+		Counter: CounterFooter, Fingerprint: "dd", Justification: "j",
+		Stages: []string{"s"}}, Cost{})
+	if problems := render(l, c).Validate(); len(problems) == 0 {
+		t.Error("counter on wrong route not reported")
+	}
+
+	// Tampered summary.
+	l, c = sample()
+	m = render(l, c)
+	m.Summary.Evaluations++
+	if problems := m.Validate(); len(problems) == 0 {
+		t.Error("tampered evaluation total not reported")
+	}
+}
+
+func TestReadManifestRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no header":     `{"kind":"record","figure":"f"}`,
+		"no summary":    `{"kind":"manifest","version":1,"code":"c"}`,
+		"bad version":   `{"kind":"manifest","version":9,"code":"c"}`,
+		"unknown kind":  `{"kind":"manifest","version":1,"code":"c"}` + "\n" + `{"kind":"wat"}`,
+		"after summary": `{"kind":"manifest","version":1,"code":"c"}` + "\n" + `{"kind":"summary"}` + "\n" + `{"kind":"call"}`,
+		"not an object": `nope`,
+		"double header": `{"kind":"manifest","version":1,"code":"c"}` + "\n" + `{"kind":"manifest","version":1,"code":"c"}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadManifest(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadManifest accepted a malformed document", name)
+		}
+	}
+}
+
+// TestNilLedgerSafe pins the seam contract: every method is a no-op on a
+// nil receiver, so call sites only need the one Active() nil check.
+func TestNilLedgerSafe(t *testing.T) {
+	var l *Ledger
+	l.Emit(Record{}, Cost{})
+	l.Call("x", "y", true)
+	l.AddDecode(1, 2, 3)
+	l.AddDecodedBytes(4)
+	l.AddStream(5, 6)
+	if l.CodeVersion() != "" || l.Costs() != (CostStats{}) {
+		t.Error("nil ledger returned non-zero state")
+	}
+	if err := WriteManifest(&bytes.Buffer{}, nil, Counters{}); err == nil {
+		t.Error("WriteManifest(nil) must error")
+	}
+}
+
+// TestDisabledPathAllocsFree pins the off-path cost of the seam itself:
+// with no active ledger, the probe is one atomic load and zero
+// allocations.
+func TestDisabledPathAllocsFree(t *testing.T) {
+	if Enabled() {
+		t.Fatal("ledger unexpectedly active")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if l := Active(); l != nil {
+			t.Fatal("active mid-test")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled Active() check allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Enable("v1")
+	defer Disable()
+	if !Enabled() {
+		t.Fatal("Enabled() false after Enable")
+	}
+	if got := Active().CodeVersion(); got != "v1" {
+		t.Errorf("CodeVersion = %q, want v1", got)
+	}
+	l := Disable()
+	if l == nil || Enabled() {
+		t.Error("Disable must return the final ledger and clear the seam")
+	}
+}

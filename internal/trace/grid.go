@@ -305,6 +305,11 @@ type GridReader struct {
 	lastThread    uint8
 	lastEndGlobal uint64
 	lastEndThread [256]uint64
+
+	chunks    uint64
+	accesses  uint64
+	bytes     uint64
+	lastBytes int
 }
 
 // NewGridReader validates the preamble and positions the reader at the
@@ -432,8 +437,23 @@ func (g *GridReader) Next() ([]Access, []uint64, error) {
 	if pos != len(p) {
 		return nil, nil, fmt.Errorf("%w: %d trailing payload bytes", errGridChunk, len(p)-pos)
 	}
+	g.chunks++
+	g.accesses += uint64(count)
+	g.bytes += uint64(size) + 8
+	g.lastBytes = size + 8
 	return accs, insts, nil
 }
+
+// DecodedStats reports how much of the stream Next has decoded so far:
+// whole chunks, accesses, and payload bytes including the 8-byte
+// per-chunk framing (the footer and preamble are excluded).
+func (g *GridReader) DecodedStats() (chunks, accesses, bytes uint64) {
+	return g.chunks, g.accesses, g.bytes
+}
+
+// LastChunkBytes returns the framed size of the most recent chunk Next
+// decoded, or 0 before the first chunk.
+func (g *GridReader) LastChunkBytes() int { return g.lastBytes }
 
 // readFooter consumes the footer and trailer, then reports io.EOF.
 func (g *GridReader) readFooter(size int) error {

@@ -33,6 +33,8 @@
 package lva
 
 import (
+	"io"
+
 	"lva/internal/core"
 	"lva/internal/experiments"
 	"lva/internal/fullsys"
@@ -40,6 +42,7 @@ import (
 	"lva/internal/memsim"
 	"lva/internal/obs"
 	"lva/internal/obs/attr"
+	"lva/internal/obs/prov"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
 	"lva/internal/value"
@@ -281,6 +284,33 @@ func Attribution() AttributionSnapshot { return attr.TakeSnapshot() }
 
 // ResetAttribution drops every published run attribution.
 func ResetAttribution() { attr.Reset() }
+
+// ProvenanceManifest is a parsed run-provenance manifest (see
+// internal/obs/prov): per-evaluation records of which route produced each
+// design-point result and why, reconciled against the engine counters.
+type ProvenanceManifest = prov.Manifest
+
+// EnableProvenance starts recording run provenance: every design-point
+// evaluation (run-cache lookup, footer read, grid replay, kernel
+// execution, phase-2 stream) emits a deterministic record of its route,
+// justification and source artifact. Call before the first run; off by
+// default with a zero-cost disabled path.
+func EnableProvenance() { experiments.EnableProvenance() }
+
+// DisableProvenance ends the provenance session.
+func DisableProvenance() { experiments.DisableProvenance() }
+
+// WriteProvenanceManifest renders the active provenance ledger as a
+// byte-stable NDJSON manifest reconciled against the engine counters
+// (the `lvaexp -manifest` document; audit it with `lvareport
+// -provenance`).
+func WriteProvenanceManifest(w io.Writer) error { return experiments.WriteProvManifest(w) }
+
+// ReadProvenanceManifest parses an NDJSON provenance manifest; call
+// Validate on the result to reconcile it.
+func ReadProvenanceManifest(r io.Reader) (*ProvenanceManifest, error) {
+	return prov.ReadManifest(r)
+}
 
 // StartTimeline begins capturing a Chrome trace-event run timeline of the
 // experiment engine (figure drivers, gate workers, kernel simulations and
