@@ -3,6 +3,7 @@
 // wall-time and allocation deltas.
 //
 //	benchdiff [-max-regress 0.15] [-min-ns 1000000] [-warn-only] OLD.json NEW.json
+//	benchdiff NEW.json             # baseline = newest committed BENCH_*.json
 //
 // It exits nonzero when any benchmark slower than -min-ns regresses by more
 // than -max-regress in ns/op, or grows allocs/op by more than
@@ -22,10 +23,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// newestCommittedBaseline picks the baseline for single-argument runs:
+// the lexically last committed BENCH_*.json (stamps are UTC and sort
+// chronologically), asking git for tracked files and falling back to a
+// directory glob outside a work tree. The fresh snapshot itself is
+// excluded; "" with nil error means no baseline exists yet.
+func newestCommittedBaseline(newPath string) (string, error) {
+	var candidates []string
+	if out, err := exec.Command("git", "ls-files", "BENCH_*.json").Output(); err == nil {
+		for _, l := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			if l != "" {
+				candidates = append(candidates, l)
+			}
+		}
+	} else {
+		g, gerr := filepath.Glob("BENCH_*.json")
+		if gerr != nil {
+			return "", gerr
+		}
+		candidates = g
+	}
+	na, _ := filepath.Abs(newPath)
+	kept := candidates[:0]
+	for _, c := range candidates {
+		if ca, _ := filepath.Abs(c); ca == na {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if len(kept) == 0 {
+		return "", nil
+	}
+	sort.Strings(kept)
+	return kept[len(kept)-1], nil
+}
 
 type result struct {
 	NsPerOp     float64
@@ -113,18 +151,35 @@ func main() {
 	warnOnly := flag.Bool("warn-only", false,
 		"report regressions but always exit 0 (for noisy CI runners)")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	case 1:
+		newPath = flag.Arg(0)
+		var err error
+		oldPath, err = newestCommittedBaseline(newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if oldPath == "" {
+			fmt.Println("benchdiff: no committed BENCH_*.json baseline found; nothing to compare (first snapshot?)")
+			return
+		}
+		fmt.Printf("benchdiff: auto-selected baseline %s (newest committed BENCH_*.json)\n", oldPath)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] [OLD.json] NEW.json")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	oldRes, err := parseSnapshot(flag.Arg(0))
+	oldRes, err := parseSnapshot(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newRes, err := parseSnapshot(flag.Arg(1))
+	newRes, err := parseSnapshot(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)

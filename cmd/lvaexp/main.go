@@ -18,6 +18,7 @@ import (
 	"lva/internal/experiments"
 	"lva/internal/obs"
 	"lva/internal/obs/attr"
+	"lva/internal/obs/phase"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	timelineOut := flag.String("timeline", "", "capture a Chrome trace-event run timeline (load in Perfetto) to this file")
 	attrOut := flag.String("attr", "", "write a per-site/per-epoch attribution snapshot (JSON) to this file")
 	attrWindow := flag.Int("attr-window", 0, "epoch window in annotated loads for -attr time-series (0 = default, <0 = sites only)")
+	phaseOut := flag.String("phase", "", "write a phase-observatory snapshot (per-run phase clustering + representativeness, JSON) to this file")
+	phaseWindow := flag.Int("phase-window", 0, "epoch window in annotated loads for -phase fingerprints (0 = default)")
 	manifestOut := flag.String("manifest", "", "record run provenance and write the NDJSON manifest to this file")
 	flag.Parse()
 
@@ -48,6 +51,12 @@ func main() {
 			attr.SetEpochWindow(*attrWindow)
 		}
 		attr.SetEnabled(true)
+	}
+	if *phaseOut != "" {
+		if *phaseWindow != 0 {
+			phase.SetEpochWindow(*phaseWindow)
+		}
+		phase.SetEnabled(true)
 	}
 	if *timelineOut != "" {
 		experiments.StartTimeline()
@@ -154,6 +163,16 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lvaexp: write attribution:", err)
+			os.Exit(1)
+		}
+	}
+	if *phaseOut != "" {
+		b, err := phase.TakeSnapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(*phaseOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvaexp: write phase snapshot:", err)
 			os.Exit(1)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"lva/internal/core"
 	"lva/internal/memsim"
 	"lva/internal/obs/attr"
+	"lva/internal/obs/phase"
 	"lva/internal/obs/prov"
 	"lva/internal/prefetch"
 	"lva/internal/trace"
@@ -307,13 +308,19 @@ func serveReplay(fig string, group []*ctrReq, queued time.Duration) {
 	}
 	sims := make([]*memsim.Sim, len(group))
 	recs := make([]*attr.Recorder, len(group))
+	phs := make([]*phase.Profiler, len(group))
 	for i, r := range group {
 		sims[i] = memsim.New(r.cfg)
 		recs[i] = attrRecorder(w, r.cfg, DefaultSeed)
 		if recs[i] != nil {
 			sims[i].SetAttribution(recs[i])
 		}
+		phs[i] = phaseProfiler(w, r.cfg, DefaultSeed)
+		if phs[i] != nil {
+			sims[i].SetPhaseProfile(phs[i])
+		}
 	}
+	phStart := time.Now()
 	f, err := os.Open(st.path)
 	if err != nil {
 		execAll(provWhyReplayFail)
@@ -334,6 +341,9 @@ func serveReplay(fig string, group []*ctrReq, queued time.Duration) {
 		replayCells.Store(replayKey(r.w, r.cfg, DefaultSeed), res)
 		if recs[i] != nil {
 			attr.Publish(recs[i])
+		}
+		if phs[i] != nil {
+			publishPhaseProfile(phs[i], phStart)
 		}
 		traceStats.replayPoints.Add(1)
 		pc.point(fig, r.label, "ctr", prov.RouteReplay, prov.CounterReplayed,
@@ -388,6 +398,12 @@ func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64, queued t
 	if rec != nil {
 		sim.SetAttribution(rec)
 	}
+	pp := phaseProfiler(w, mc, seed)
+	var ppStart time.Time
+	if pp != nil {
+		sim.SetPhaseProfile(pp)
+		ppStart = time.Now()
+	}
 	f, err := os.Open(st.path)
 	if err != nil {
 		return execPoint(provWhyReplayFail)
@@ -402,6 +418,9 @@ func replayLVAPoint(w workloads.Workload, cfg core.Config, seed uint64, queued t
 	}
 	if rec != nil {
 		attr.Publish(rec)
+	}
+	if pp != nil {
+		publishPhaseProfile(pp, ppStart)
 	}
 	traceStats.replayPasses.Add(1)
 	traceStats.replayPoints.Add(1)

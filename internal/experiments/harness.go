@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"time"
 
 	"lva/internal/core"
 	"lva/internal/memsim"
@@ -82,10 +83,19 @@ func runWith(w workloads.Workload, cfg memsim.Config, seed uint64) RunResult {
 	if rec != nil {
 		sim.SetAttribution(rec)
 	}
+	pp := phaseProfiler(w, cfg, seed)
+	var ppStart time.Time
+	if pp != nil {
+		sim.SetPhaseProfile(pp)
+		ppStart = time.Now()
+	}
 	out := w.Run(sim, seed)
 	res := RunResult{Output: out, Sim: sim.Result()}
 	if rec != nil {
 		attr.Publish(rec)
+	}
+	if pp != nil {
+		publishPhaseProfile(pp, ppStart)
 	}
 	return res
 }

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lva/internal/memsim"
+	"lva/internal/obs/phase"
+	"lva/internal/workloads"
+)
+
+// TestPhaseOffIsFree is the zero-overhead-when-off gate for the phase
+// observatory: with profiling disabled (the default), the annotated-load
+// path allocates nothing and figures match their golden hashes bit for
+// bit — the seam is one nil check, exactly like attribution's.
+func TestPhaseOffIsFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("regenerates table1 under the detector's slowdown; byte-identity is a determinism property the non-race run checks, and the phase seams get race coverage from the memsim/phase package tests")
+	}
+	if phase.Enabled() {
+		t.Fatal("test requires phase profiling disabled")
+	}
+
+	// Per-load allocation check on the annotated path with no profiler.
+	sim := memsim.New(memsim.DefaultConfig())
+	for i := 0; i < 512; i++ {
+		sim.LoadFloat(uint64(0x400+i%8*4), uint64(0x100000+i*64), 1, true)
+	}
+	addr := uint64(0x900000)
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		sim.LoadFloat(uint64(0x400+i%8*4), addr, 1, true)
+		addr += 64
+		i++
+	}); n != 0 {
+		t.Errorf("annotated load with phase off: %v allocs/op, want 0", n)
+	}
+
+	// Figure bytes against the committed golden contract.
+	ResetRunCache()
+	defer ResetRunCache()
+	for _, id := range []string{"table1", "fig12", "fig13"} {
+		if got, want := figureHash(Registry[id]()), goldenHashFor(t, id); got != want {
+			t.Errorf("figure %s hash = %s, want golden %s", id, got, want)
+		}
+	}
+}
+
+// TestFiguresIdenticalWithPhaseOn is the observer-effect gate: running
+// with the phase profiler wired into every simulation must leave every
+// figure byte-identical to its golden hash, while actually publishing
+// phase profiles (including for precise runs, which attribution skips).
+func TestFiguresIdenticalWithPhaseOn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("regenerates table1 under the detector's slowdown (see TestPhaseOffIsFree)")
+	}
+	phase.SetEnabled(true)
+	phase.Reset()
+	ResetRunCache()
+	defer func() {
+		phase.SetEnabled(false)
+		phase.Reset()
+		ResetRunCache()
+	}()
+
+	for _, id := range []string{"table1", "fig12", "fig13"} {
+		if got, want := figureHash(Registry[id]()), goldenHashFor(t, id); got != want {
+			t.Errorf("figure %s hash with phase on = %s, want golden %s", id, got, want)
+		}
+	}
+
+	snap := phase.TakeSnapshot()
+	if len(snap.Scopes) == 0 {
+		t.Fatal("no phase scopes published")
+	}
+	var precise, simBacked int
+	for _, sc := range snap.Scopes {
+		if sc.TotalEpochs == 0 {
+			t.Errorf("scope %s published with zero epochs", sc.Scope)
+		}
+		if strings.Contains(sc.Scope, "/precise/") {
+			precise++
+		}
+		if sc.Projection.HasSim {
+			simBacked++
+		}
+	}
+	if precise == 0 {
+		t.Error("no precise-run scopes published (phase profiles AttachNone runs)")
+	}
+	if simBacked == 0 {
+		t.Error("no sim-backed projections published")
+	}
+}
+
+// TestPhaseSnapshotDeterministic checks the published phase snapshot is
+// byte-stable across repeat runs and Parallelism levels: profilers are
+// per-run single-threaded, clustering is deterministic in epoch order,
+// and the run cache simulates each design point once, so the scope-sorted
+// snapshot cannot depend on scheduling.
+func TestPhaseSnapshotDeterministic(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("regenerates two figures three times")
+	}
+	saved := Parallelism
+	phase.SetEnabled(true)
+	defer func() {
+		Parallelism = saved
+		phase.SetEnabled(false)
+		phase.Reset()
+		ResetRunCache()
+	}()
+
+	capture := func(par int) []byte {
+		Parallelism = par
+		ResetRunCache()
+		phase.Reset()
+		if _, err := RunAll("fig12", "fig13"); err != nil {
+			t.Fatal(err)
+		}
+		b, err := phase.TakeSnapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	p8a := capture(8)
+	p8b := capture(8)
+	p1 := capture(1)
+	if !bytes.Equal(p8a, p8b) {
+		t.Error("phase snapshot differs between two identical Parallelism=8 runs")
+	}
+	if !bytes.Equal(p8a, p1) {
+		t.Error("phase snapshot differs between Parallelism=8 and Parallelism=1")
+	}
+
+	snap, err := phase.ParseSnapshot(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var projected int
+	for _, sc := range snap.Scopes {
+		if len(sc.Phases) == 0 {
+			t.Errorf("scope %s clustered into no phases", sc.Scope)
+		}
+		if sc.Projection.HasSim {
+			projected++
+			pr := sc.Projection
+			if pr.ProjectedMPKI < 0 || pr.ProjectedCoverage < 0 || pr.ProjectedCoverage > 1 {
+				t.Errorf("scope %s projection out of range: %+v", sc.Scope, pr)
+			}
+		}
+	}
+	if projected == 0 {
+		t.Fatalf("no sim-backed projections in snapshot:\n%s", p1)
+	}
+}
+
+// TestProfileGridStreamOffline checks the sim-free path: a recorded
+// stream profiles through one decode pass, yields epochs, carries no
+// projection (HasSim false), and repeat decodes are byte-identical.
+func TestProfileGridStreamOffline(t *testing.T) {
+	w, err := workloads.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetRunCache()
+	defer ResetRunCache()
+	path, err := EnsureGridStream("precise", w, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phase.Reset()
+	defer phase.Reset()
+	prof, hdr, err := ProfileGridStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Name != "blackscholes" {
+		t.Fatalf("header name = %q, want blackscholes", hdr.Name)
+	}
+	if prof.TotalEpochs == 0 {
+		t.Fatal("offline profile has no epochs")
+	}
+	if prof.Loads != hdr.ApproxLoads {
+		t.Fatalf("profiled loads = %d, footer says %d annotated loads", prof.Loads, hdr.ApproxLoads)
+	}
+	if prof.Projection.HasSim {
+		t.Fatal("offline profile claims HasSim")
+	}
+	if prof.Projection.Representative {
+		t.Fatal("offline profile claims representativeness without a sim")
+	}
+	if !strings.Contains(prof.Scope, "/stream/") {
+		t.Fatalf("offline scope = %q, want bench/stream/hash", prof.Scope)
+	}
+
+	b1, err := phase.TakeSnapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase.Reset()
+	if _, _, err := ProfileGridStream(path); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := phase.TakeSnapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("offline phase profile differs between two decodes of the same stream")
+	}
+}

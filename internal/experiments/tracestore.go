@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lva/internal/memsim"
 	"lva/internal/obs/attr"
@@ -323,6 +324,12 @@ func recordStream(w workloads.Workload, cfg memsim.Config, seed uint64, key, pat
 	if rec != nil {
 		sim.SetAttribution(rec)
 	}
+	pp := phaseProfiler(w, cfg, seed)
+	var ppStart time.Time
+	if pp != nil {
+		sim.SetPhaseProfile(pp)
+		ppStart = time.Now()
+	}
 	if gw != nil {
 		sim.SetGridCapture(gw)
 	}
@@ -330,6 +337,9 @@ func recordStream(w workloads.Workload, cfg memsim.Config, seed uint64, key, pat
 	res := RunResult{Output: out, Sim: sim.Result()}
 	if rec != nil {
 		attr.Publish(rec)
+	}
+	if pp != nil {
+		publishPhaseProfile(pp, ppStart)
 	}
 
 	var hdr trace.GridHeader

@@ -35,20 +35,22 @@ var obshooksAnalyzer = &Analyzer{
 // package is here for its grid capture sink: (*GridWriter).Access runs on
 // every access of a recording run.
 var hotPathPkgs = map[string]bool{
-	"lva/internal/memsim":   true,
-	"lva/internal/cache":    true,
-	"lva/internal/core":     true,
-	"lva/internal/obs/attr": true,
-	"lva/internal/obs/prov": true,
-	"lva/internal/trace":    true,
+	"lva/internal/memsim":    true,
+	"lva/internal/cache":     true,
+	"lva/internal/core":      true,
+	"lva/internal/obs/attr":  true,
+	"lva/internal/obs/phase": true,
+	"lva/internal/obs/prov":  true,
+	"lva/internal/trace":     true,
 }
 
 // attrSeamPkgs additionally ban fmt outright (not just in hot-named
 // functions, as hotpath does): the flight recorder is linked into every
 // simulator build and must never grow a formatting dependency.
 var attrSeamPkgs = map[string]bool{
-	"lva/internal/obs/attr": true,
-	"lva/internal/obs/prov": true,
+	"lva/internal/obs/attr":  true,
+	"lva/internal/obs/phase": true,
+	"lva/internal/obs/prov":  true,
 }
 
 func runObshooks(p *Pass) {

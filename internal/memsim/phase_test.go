@@ -1,0 +1,110 @@
+package memsim
+
+import (
+	"testing"
+
+	"lva/internal/obs/phase"
+)
+
+// TestPhaseProfileCountsMatchResult checks the simulator seam: the phase
+// profiler sees every annotated load (and only annotated loads), and its
+// miss/covered totals agree with the simulation's own counters.
+func TestPhaseProfileCountsMatchResult(t *testing.T) {
+	phase.SetEpochWindow(500)
+	defer phase.SetEpochWindow(phase.DefaultEpochWindow)
+	sim := New(DefaultConfig())
+	p := phase.NewProfiler("memsim-phase")
+	sim.SetPhaseProfile(p)
+	driveAnnotated(sim)
+	res := sim.Result()
+
+	prof := p.Finalize()
+	if prof.Loads != 4000 {
+		t.Fatalf("profiled loads = %d, want 4000 (plain loads must not profile)", prof.Loads)
+	}
+	if prof.TotalEpochs != 8 {
+		t.Fatalf("epochs = %d, want 8 (4000 annotated loads / 500)", prof.TotalEpochs)
+	}
+	misses, covered := phaseMissTotals(prof)
+	if misses == 0 || covered == 0 {
+		t.Fatalf("expected misses and coverage, got %d/%d", misses, covered)
+	}
+	if covered != res.Covered {
+		t.Fatalf("profiled covered = %d, simulator counted %d", covered, res.Covered)
+	}
+}
+
+// phaseMissTotals reconstructs run totals from the projection's actual
+// rates: actual MPKI/coverage are computed over every retained epoch, so
+// with no ring wrap they must reproduce the run's absolute counts.
+func phaseMissTotals(prof phase.ScopeProfile) (misses, covered uint64) {
+	// ActualMPKI = misses*1000/insts; ActualCoverage = covered/misses.
+	m := prof.Projection.ActualMPKI * float64(prof.Insts) / 1000
+	c := prof.Projection.ActualCoverage * m
+	return uint64(m + 0.5), uint64(c + 0.5)
+}
+
+// TestPhaseProfilePreciseAttachment checks the uncovered-miss path: under
+// AttachNone annotated misses are profiled (phase structure of the
+// precise stream) but never covered and never trained.
+func TestPhaseProfilePreciseAttachment(t *testing.T) {
+	phase.SetEpochWindow(500)
+	defer phase.SetEpochWindow(phase.DefaultEpochWindow)
+	cfg := DefaultConfig()
+	cfg.Attach = AttachNone
+	sim := New(cfg)
+	p := phase.NewProfiler("memsim-phase-precise")
+	sim.SetPhaseProfile(p)
+	driveAnnotated(sim)
+
+	prof := p.Finalize()
+	if prof.Loads != 4000 {
+		t.Fatalf("profiled loads = %d, want 4000", prof.Loads)
+	}
+	if prof.Projection.ActualMPKI == 0 {
+		t.Fatal("expected annotated misses under AttachNone")
+	}
+	if prof.Projection.ActualCoverage != 0 {
+		t.Fatalf("coverage = %v under AttachNone, want 0", prof.Projection.ActualCoverage)
+	}
+	if prof.Projection.ActualMeanRelErr != 0 {
+		t.Fatalf("mean rel err = %v under AttachNone, want 0 (no trainings)", prof.Projection.ActualMeanRelErr)
+	}
+}
+
+// TestPhaseProfileSteadyStateAllocFree pins the profiler's hot methods:
+// with the fingerprint arrays fixed-size and the epoch ring preallocated,
+// profiling a load/miss/training allocates nothing.
+func TestPhaseProfileSteadyStateAllocFree(t *testing.T) {
+	phase.SetEpochWindow(64)
+	defer phase.SetEpochWindow(phase.DefaultEpochWindow)
+	cfg := DefaultConfig()
+	cfg.Approx.ValueDelay = 0
+	sim := New(cfg)
+	p := phase.NewProfiler("memsim-phase-allocs")
+	sim.SetPhaseProfile(p)
+	driveAnnotated(sim)
+	addr := uint64(0x900000)
+	i := 0
+	assertZeroAllocs(t, "phase-profiled covered miss", func() {
+		sim.LoadFloat(uint64(0x400+i%5*4), addr, 1, true)
+		addr += 64
+		i++
+	})
+}
+
+// TestPhaseProfileDoesNotChangeResults pins the observer contract: wiring
+// a phase profiler must not perturb any simulation metric.
+func TestPhaseProfileDoesNotChangeResults(t *testing.T) {
+	run := func(wire bool) Result {
+		sim := New(DefaultConfig())
+		if wire {
+			sim.SetPhaseProfile(phase.NewProfiler("observer"))
+		}
+		driveAnnotated(sim)
+		return sim.Result()
+	}
+	if run(false) != run(true) {
+		t.Fatal("attaching a phase profiler changed simulation results")
+	}
+}

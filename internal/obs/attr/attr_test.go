@@ -123,6 +123,71 @@ func TestFinalizeSealsPartialEpoch(t *testing.T) {
 	}
 }
 
+func TestRunShorterThanOneWindow(t *testing.T) {
+	SetEpochWindow(100)
+	defer resetWindow()
+	r := NewRecorder("short")
+	for i := 0; i < 7; i++ {
+		r.Load(0x40, uint64(i))
+	}
+	s := r.Finalize()
+	if len(s.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1 (run shorter than one window still seals)", len(s.Epochs))
+	}
+	if s.Epochs[0].Loads != 7 {
+		t.Fatalf("epoch loads = %d, want 7", s.Epochs[0].Loads)
+	}
+	if s.DroppedEpochs != 0 {
+		t.Fatalf("DroppedEpochs = %d, want 0", s.DroppedEpochs)
+	}
+}
+
+func TestExactMultipleWindowBoundary(t *testing.T) {
+	SetEpochWindow(50)
+	defer resetWindow()
+	r := NewRecorder("exact")
+	for i := 0; i < 150; i++ {
+		r.Load(0x40, uint64(i))
+	}
+	s := r.Finalize()
+	if len(s.Epochs) != 3 {
+		t.Fatalf("epochs = %d, want exactly 3 (no empty trailing epoch at an exact multiple)", len(s.Epochs))
+	}
+	for i, e := range s.Epochs {
+		if e.Loads != 50 {
+			t.Fatalf("epoch %d loads = %d, want 50", i, e.Loads)
+		}
+	}
+}
+
+func TestRingWrapAccountingReconciles(t *testing.T) {
+	SetEpochWindow(10)
+	defer resetWindow()
+	r := NewRecorder("reconcile")
+	total := (epochRingCap+5)*10 + 4 // cap+5 full epochs, then a 4-load partial
+	for i := 0; i < total; i++ {
+		r.Load(0x40, uint64(i))
+	}
+	s := r.Finalize()
+	if got, want := s.DroppedEpochs+len(s.Epochs), epochRingCap+6; got != want {
+		t.Fatalf("dropped (%d) + retained (%d) = %d, want %d total epochs",
+			s.DroppedEpochs, len(s.Epochs), got, want)
+	}
+	if s.DroppedEpochs != 6 {
+		t.Fatalf("DroppedEpochs = %d, want 6", s.DroppedEpochs)
+	}
+	var loads uint64
+	for _, e := range s.Epochs {
+		loads += e.Loads
+	}
+	if want := uint64((epochRingCap-1)*10 + 4); loads != want {
+		t.Fatalf("retained epoch loads = %d, want %d (full epochs + trailing partial)", loads, want)
+	}
+	if last := s.Epochs[len(s.Epochs)-1]; last.Loads != 4 {
+		t.Fatalf("trailing partial epoch loads = %d, want 4", last.Loads)
+	}
+}
+
 func TestEpochWindowDisabled(t *testing.T) {
 	SetEpochWindow(-1)
 	defer resetWindow()

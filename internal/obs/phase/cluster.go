@@ -1,0 +1,201 @@
+package phase
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Clustering happens entirely at snapshot time on the sealed epoch ring —
+// the hot path only filled histograms. The algorithm is leader clustering
+// over a normalized fingerprint distance, deterministic by construction:
+// epochs are visited in time order, ties break toward the earlier cluster,
+// and the medoid of each cluster is the member minimizing the summed
+// distance to the others (ties toward the earlier epoch). No map
+// iteration, no randomness, no floating-point reduction order that depends
+// on scheduling — the same event stream always yields the same phases.
+
+// maxPhases caps the phase count: once reached, new epochs join their
+// nearest phase even beyond the distance threshold. Sampled simulation
+// needs a handful of representative intervals; a run fragmenting into more
+// phases than this is effectively phase-less for that purpose.
+const maxPhases = 16
+
+// defaultThreshold is the leader-clustering distance threshold: an epoch
+// within this normalized distance of an existing phase leader joins that
+// phase. Distances are in [0,1] (see distance), so 0.10 means "histograms
+// and rates agree within ~10% total variation".
+const defaultThreshold = 0.10
+
+// clusterThreshold holds the configured threshold as float bits;
+// 0 = unset (defaultThreshold).
+var clusterThreshold atomic.Uint64
+
+// SetClusterThreshold configures the leader-clustering distance threshold
+// for profiles finalized afterwards. t <= 0 restores the default.
+func SetClusterThreshold(t float64) {
+	if t <= 0 || math.IsNaN(t) {
+		clusterThreshold.Store(0)
+		return
+	}
+	clusterThreshold.Store(math.Float64bits(t))
+}
+
+// ClusterThreshold returns the effective clustering threshold.
+func ClusterThreshold() float64 {
+	b := clusterThreshold.Load()
+	if b == 0 {
+		return defaultThreshold
+	}
+	return math.Float64frombits(b)
+}
+
+// histDims is the width of the flattened, per-histogram-normalized
+// fingerprint vector.
+const histDims = PCBuckets + RegionBuckets + StrideBuckets
+
+// feature is one epoch's normalized view used for distance computation:
+// each histogram scaled to proportions (so epoch length cancels out) plus
+// the derived rates.
+type feature struct {
+	hist [histDims]float64
+	mpki float64
+	cov  float64
+	merr float64
+}
+
+// scalarScale normalizes the rate terms so they are comparable with the
+// [0,1] histogram term: each rate is divided by its maximum over the run.
+type scalarScale struct {
+	mpki float64
+	merr float64
+}
+
+func normalizeInto(dst []float64, src []uint32) {
+	var total uint64
+	for _, c := range src {
+		total += uint64(c)
+	}
+	if total == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	inv := 1 / float64(total)
+	for i, c := range src {
+		dst[i] = float64(c) * inv
+	}
+}
+
+// epochRates derives the per-epoch rates used by features, phase stats and
+// the projection alike.
+func epochRates(e *Epoch) (mpki, cov, merr float64) {
+	if e.Insts > 0 {
+		mpki = float64(e.Misses) * 1000 / float64(e.Insts)
+	}
+	if e.Misses > 0 {
+		cov = float64(e.Covered) / float64(e.Misses)
+	}
+	if e.Judged > 0 {
+		merr = e.ErrSum / float64(e.Judged)
+	}
+	return
+}
+
+func featureOf(e *Epoch) feature {
+	var f feature
+	normalizeInto(f.hist[:PCBuckets], e.FP.PC[:])
+	normalizeInto(f.hist[PCBuckets:PCBuckets+RegionBuckets], e.FP.Region[:])
+	normalizeInto(f.hist[PCBuckets+RegionBuckets:], e.FP.Stride[:])
+	f.mpki, f.cov, f.merr = epochRates(e)
+	return f
+}
+
+// distance is the normalized dissimilarity of two epochs in [0,1]. The
+// histogram term is the summed L1 distance of the three proportion
+// histograms (each pair contributes at most 2, so /6 normalizes). For live
+// simulations the rate term — MPKI, coverage and mean relative error, each
+// scaled to [0,1] — is blended in at 1/4 weight, so epochs that touch the
+// same code and data but behave differently in the cache still separate.
+// Offline stream profiles have no rates and cluster on histograms alone.
+func distance(a, b *feature, sc scalarScale, hasSim bool) float64 {
+	var h float64
+	for i := range a.hist {
+		h += math.Abs(a.hist[i] - b.hist[i])
+	}
+	h /= 6
+	if !hasSim {
+		return h
+	}
+	var s float64
+	if sc.mpki > 0 {
+		s += math.Abs(a.mpki-b.mpki) / sc.mpki
+	}
+	s += math.Abs(a.cov - b.cov)
+	if sc.merr > 0 {
+		s += math.Abs(a.merr-b.merr) / sc.merr
+	}
+	return 0.75*h + 0.25*s/3
+}
+
+// cluster assigns each epoch to a phase and picks a medoid epoch per
+// phase. assign[i] is the phase id of epochs[i] (ids are dense, ordered by
+// first appearance); medoids[c] is the index into epochs of phase c's
+// representative interval.
+func cluster(epochs []Epoch, hasSim bool) (assign []int, medoids []int) {
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	feats := make([]feature, len(epochs))
+	var sc scalarScale
+	for i := range epochs {
+		feats[i] = featureOf(&epochs[i])
+		if feats[i].mpki > sc.mpki {
+			sc.mpki = feats[i].mpki
+		}
+		if feats[i].merr > sc.merr {
+			sc.merr = feats[i].merr
+		}
+	}
+	threshold := ClusterThreshold()
+
+	assign = make([]int, len(epochs))
+	var leaders []int // index into epochs of each phase's first member
+	for i := range feats {
+		best, bestD := -1, math.Inf(1)
+		for c, li := range leaders {
+			d := distance(&feats[i], &feats[li], sc, hasSim)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best >= 0 && (bestD <= threshold || len(leaders) >= maxPhases) {
+			assign[i] = best
+			continue
+		}
+		assign[i] = len(leaders)
+		leaders = append(leaders, i)
+	}
+
+	// Medoid refinement: within each phase, the representative interval is
+	// the member with the smallest summed distance to all other members.
+	members := make([][]int, len(leaders))
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	medoids = make([]int, len(leaders))
+	for c, ms := range members {
+		bestI, bestSum := ms[0], math.Inf(1)
+		for _, m := range ms {
+			var sum float64
+			for _, o := range ms {
+				sum += distance(&feats[m], &feats[o], sc, hasSim)
+			}
+			if sum < bestSum {
+				bestI, bestSum = m, sum
+			}
+		}
+		medoids[c] = bestI
+	}
+	return assign, medoids
+}

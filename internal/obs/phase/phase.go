@@ -1,0 +1,257 @@
+// Package phase is the phase observatory: per-epoch memory-access-vector
+// fingerprints of the annotated load stream, clustered at snapshot time
+// into program phases with a medoid (representative) interval per phase.
+// Where internal/obs/attr answers *which sites* cause approximation error
+// and *when* the approximator drifts, phase answers *how repetitive* a run
+// is — the prerequisite for sampled simulation: if a handful of medoid
+// intervals projects the whole-run MPKI/coverage/error within a small
+// error, simulating only those intervals is sound.
+//
+// The wiring follows the same zero-overhead-when-off convention as the
+// obs/attr seams: a Profiler is attached to a simulator only when
+// SetEnabled(true) ran before the run was wired, the hot structs hold a
+// nil-able pointer, and the per-access hooks are a single nil check when
+// profiling is off. Only annotated loads and their miss/training machinery
+// report here — the plain load-hit path is never touched. A Profiler
+// belongs to exactly one single-threaded simulation (or one offline stream
+// decode), so the hot methods take no locks, allocate nothing after
+// construction, and the float accumulators are deterministic.
+//
+// This package sits on the simulator hot path, so the lvalint obshooks and
+// hotpath analyzers apply: no time.Now, no fmt anywhere in the package, no
+// package-level mutation, no interface-typed parameters in the per-access
+// methods.
+package phase
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// enabled gates phase profiling the same way attr.SetEnabled gates the
+// flight recorder: it is consulted when a run is wired up, not per access.
+var enabled atomic.Bool
+
+// SetEnabled turns phase profiling on or off for subsequently wired runs.
+// Off by default so the simulator hot paths carry zero cost.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether phase profiling is enabled.
+func Enabled() bool { return enabled.Load() }
+
+// DefaultEpochWindow is the fingerprint interval length in annotated loads
+// when no window was configured. It matches attr.DefaultEpochWindow so the
+// two observability time-series line up epoch for epoch.
+const DefaultEpochWindow = 50000
+
+// epochRingCap bounds the per-run epoch ring; when a run exceeds it the
+// oldest epochs are dropped (the profile reports how many).
+const epochRingCap = 512
+
+// epochWindow holds the configured window: 0 = unset (DefaultEpochWindow),
+// negative = profiling effectively disabled (no epochs, no phases).
+var epochWindow atomic.Int64
+
+// SetEpochWindow configures the fingerprint interval length in annotated
+// loads for Profilers created afterwards. n <= 0 disables the epoch
+// time-series, which leaves nothing to cluster.
+func SetEpochWindow(n int) {
+	if n <= 0 {
+		epochWindow.Store(-1)
+		return
+	}
+	epochWindow.Store(int64(n))
+}
+
+// EpochWindow returns the effective epoch window (0 when disabled).
+func EpochWindow() int {
+	v := epochWindow.Load()
+	if v == 0 {
+		return DefaultEpochWindow
+	}
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// Fingerprint histogram sizes. The vector is deliberately tiny — the hot
+// hooks only increment fixed-size counters; everything derived (normalized
+// proportions, distances, clusters) happens at snapshot time.
+const (
+	// PCBuckets is the PC-set sketch width: each annotated load's PC is
+	// Fibonacci-hashed into one of these buckets, so the sketch separates
+	// code regions without tracking individual sites.
+	PCBuckets = 32
+	// RegionBuckets is the address-region sketch width over 4 KiB pages.
+	RegionBuckets = 32
+	// StrideBuckets is the stride histogram width: bucket 0 holds repeated
+	// addresses, bucket k holds strides with log2 magnitude k (capped).
+	StrideBuckets = 16
+	// regionShift folds addresses to 4 KiB regions before hashing.
+	regionShift = 12
+)
+
+// Fingerprint is the memory-access vector of one epoch: three small
+// histograms over the epoch's annotated loads.
+type Fingerprint struct {
+	PC     [PCBuckets]uint32
+	Region [RegionBuckets]uint32
+	Stride [StrideBuckets]uint32
+}
+
+// Epoch is one fingerprint interval: the access-vector histograms plus the
+// raw per-epoch counters the projection is computed from. Derived rates
+// (MPKI, coverage, mean error) are computed at snapshot time.
+type Epoch struct {
+	Index   int    // 0-based epoch number within the run
+	Loads   uint64 // annotated loads (== the window, except a final partial epoch)
+	Insts   uint64 // instructions elapsed during the epoch
+	Misses  uint64 // annotated-load L1 misses
+	Covered uint64 // misses satisfied by an approximation
+	Judged  uint64 // training commits with a finite relative error
+	Wild    uint64 // training commits with an undefined error (actual 0, NaN)
+	ErrSum  float64
+	FP      Fingerprint
+}
+
+// Profiler collects the phase fingerprints of one simulation run or one
+// offline stream decode. It belongs to exactly one producer and is not
+// safe for concurrent use; publish its Finalize result to the process-wide
+// registry (PublishProfile) once the run has drained.
+type Profiler struct {
+	scope  string
+	hasSim bool // live simulation (miss/training counters flow) vs offline stream
+
+	window          uint64 // epoch length in annotated loads; 0 = profiling off
+	epoch           Epoch  // accumulator for the current epoch
+	epochStartInsts uint64
+	lastInsts       uint64
+	prevAddr        uint64
+	havePrev        bool
+	ring            []Epoch // last epochRingCap sealed epochs
+	ringStart       int     // index of the oldest sealed epoch in ring
+	ringLen         int
+	totalEpochs     int
+}
+
+// NewProfiler builds a profiler for one live simulation run. scope names
+// the run in the published snapshot (the experiment harness uses
+// bench/attach/confighash). The epoch window is captured from
+// SetEpochWindow at construction.
+func NewProfiler(scope string) *Profiler {
+	p := &Profiler{scope: scope, hasSim: true, window: uint64(EpochWindow())}
+	if p.window > 0 {
+		p.ring = make([]Epoch, 0, epochRingCap)
+	}
+	return p
+}
+
+// NewStreamProfiler builds a profiler for an offline decode of a recorded
+// access stream: only Load is fed, so the profile clusters on the access
+// vectors alone and carries no MPKI/coverage projection.
+func NewStreamProfiler(scope string) *Profiler {
+	p := NewProfiler(scope)
+	p.hasSim = false
+	return p
+}
+
+// Scope returns the run label the profiler was created with.
+func (p *Profiler) Scope() string { return p.scope }
+
+// pcSlot Fibonacci-hashes a PC into the PC sketch: synthetic PCs differ
+// only in a few low bits, so plain masking would collide them.
+func pcSlot(pc uint64) uint64 {
+	return (pc * 0x9E3779B97F4A7C15) >> (64 - 5) // 2^5 = PCBuckets
+}
+
+// regionSlot hashes the 4 KiB region of an address into the region sketch.
+func regionSlot(addr uint64) uint64 {
+	return ((addr >> regionShift) * 0x9E3779B97F4A7C15) >> (64 - 5) // 2^5 = RegionBuckets
+}
+
+// strideSlot buckets the delta from the previous annotated load's address
+// by log2 magnitude: 0 = same address, k = |delta| in [2^(k-1), 2^k),
+// capped at the last bucket.
+func strideSlot(delta int64) int {
+	if delta < 0 {
+		delta = -delta
+	}
+	b := bits.Len64(uint64(delta))
+	if b >= StrideBuckets {
+		b = StrideBuckets - 1
+	}
+	return b
+}
+
+// Load records one annotated load from pc to addr; insts is the producer's
+// running instruction count, used to delimit epochs. Hot path: three
+// histogram increments plus a window compare.
+func (p *Profiler) Load(pc, addr, insts uint64) {
+	p.lastInsts = insts
+	if p.window == 0 {
+		return
+	}
+	e := &p.epoch
+	e.Loads++
+	e.FP.PC[pcSlot(pc)]++
+	e.FP.Region[regionSlot(addr)]++
+	if p.havePrev {
+		e.FP.Stride[strideSlot(int64(addr-p.prevAddr))]++
+	}
+	p.prevAddr, p.havePrev = addr, true
+	if e.Loads >= p.window {
+		p.sealEpoch(insts)
+	}
+}
+
+// Miss records the outcome of one annotated-load L1 miss: whether it was
+// covered by an approximation.
+func (p *Profiler) Miss(covered bool) {
+	if p.window == 0 {
+		return
+	}
+	p.epoch.Misses++
+	if covered {
+		p.epoch.Covered++
+	}
+}
+
+// Train records the relative error of one judged training commit (an
+// approximation existed and was compared against the actual value). A
+// non-finite relErr — RelDiff against an actual value of zero is +Inf —
+// counts as a wild error and stays out of the sums so per-epoch means and
+// the projection remain finite.
+func (p *Profiler) Train(relErr float64) {
+	if p.window == 0 {
+		return
+	}
+	if math.IsInf(relErr, 0) || math.IsNaN(relErr) {
+		p.epoch.Wild++
+		return
+	}
+	p.epoch.Judged++
+	p.epoch.ErrSum += relErr
+}
+
+// sealEpoch closes the current epoch at instruction count insts and pushes
+// it onto the ring, dropping the oldest epoch when full.
+func (p *Profiler) sealEpoch(insts uint64) {
+	e := p.epoch
+	e.Index = p.totalEpochs
+	e.Insts = insts - p.epochStartInsts
+	p.totalEpochs++
+	if len(p.ring) < cap(p.ring) {
+		p.ring = append(p.ring, e)
+		p.ringLen = len(p.ring)
+	} else {
+		p.ring[p.ringStart] = e
+		p.ringStart = (p.ringStart + 1) % len(p.ring)
+	}
+	p.epochStartInsts = insts
+	p.epoch = Epoch{}
+}
+
+// TotalEpochs returns how many epochs have been sealed so far.
+func (p *Profiler) TotalEpochs() int { return p.totalEpochs }

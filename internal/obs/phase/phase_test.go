@@ -1,0 +1,391 @@
+package phase
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// resetWindow restores the unset (default-window) state tests start from.
+func resetWindow() { epochWindow.Store(0) }
+
+// drivePhased feeds a synthetic two-phase stream: phase A walks a small
+// array with unit stride from a few PCs, phase B strides widely through a
+// distant region from different PCs. Each epoch also gets distinct miss
+// and training rates so the rate term separates them too.
+func drivePhased(p *Profiler, epochs, window int) {
+	insts := uint64(0)
+	for e := 0; e < epochs; e++ {
+		phaseB := (e/4)%2 == 1 // 4 epochs of A, 4 of B, repeat
+		for i := 0; i < window; i++ {
+			insts += 2
+			if phaseB {
+				p.Load(uint64(0x9000+i%3*4), uint64(0x40000000+i*4096), insts)
+			} else {
+				p.Load(uint64(0x400+i%3*4), uint64(0x100000+i*8), insts)
+			}
+			if i%10 == 0 {
+				p.Miss(phaseB)
+				if phaseB {
+					p.Train(0.25)
+				} else {
+					p.Train(0.01)
+				}
+			}
+		}
+	}
+}
+
+func TestRunShorterThanOneWindow(t *testing.T) {
+	SetEpochWindow(1000)
+	defer resetWindow()
+	p := NewProfiler("short")
+	for i := 0; i < 37; i++ {
+		p.Load(0x40, uint64(0x1000+i*8), uint64(i*2))
+	}
+	p.Miss(true)
+	prof := p.Finalize()
+	if prof.TotalEpochs != 1 || len(prof.Timeline) != 1 {
+		t.Fatalf("TotalEpochs = %d, timeline = %v; want one partial epoch", prof.TotalEpochs, prof.Timeline)
+	}
+	if prof.Loads != 37 {
+		t.Fatalf("Loads = %d, want 37", prof.Loads)
+	}
+	if len(prof.Phases) != 1 || prof.Phases[0].Epochs != 1 || prof.Phases[0].Occupancy != 1 {
+		t.Fatalf("phases = %+v, want one phase with full occupancy", prof.Phases)
+	}
+}
+
+func TestExactMultipleWindowBoundary(t *testing.T) {
+	SetEpochWindow(50)
+	defer resetWindow()
+	p := NewProfiler("exact")
+	for i := 0; i < 3*50; i++ {
+		p.Load(0x40, uint64(0x1000+i*8), uint64(i))
+	}
+	if p.TotalEpochs() != 3 {
+		t.Fatalf("TotalEpochs = %d before Finalize, want 3", p.TotalEpochs())
+	}
+	prof := p.Finalize()
+	if prof.TotalEpochs != 3 || len(prof.Timeline) != 3 {
+		t.Fatalf("finalize on an exact window multiple must not seal an empty fourth epoch: %+v", prof)
+	}
+	if prof.Loads != 150 {
+		t.Fatalf("Loads = %d, want 150", prof.Loads)
+	}
+}
+
+func TestRingWrapDroppedAccounting(t *testing.T) {
+	SetEpochWindow(10)
+	defer resetWindow()
+	p := NewProfiler("ring")
+	total := (epochRingCap + 33) * 10
+	for i := 0; i < total; i++ {
+		p.Load(0x40, uint64(0x1000+i*64), uint64(i*3))
+	}
+	prof := p.Finalize()
+	if prof.TotalEpochs != epochRingCap+33 {
+		t.Fatalf("TotalEpochs = %d, want %d", prof.TotalEpochs, epochRingCap+33)
+	}
+	if prof.DroppedEpochs != 33 {
+		t.Fatalf("DroppedEpochs = %d, want 33", prof.DroppedEpochs)
+	}
+	if len(prof.Timeline) != epochRingCap {
+		t.Fatalf("retained epochs = %d, want %d", len(prof.Timeline), epochRingCap)
+	}
+	// Totals cover retained epochs only, so projection weights stay
+	// consistent with what was clustered.
+	if prof.Loads != uint64(epochRingCap*10) {
+		t.Fatalf("Loads = %d, want %d (retained only)", prof.Loads, epochRingCap*10)
+	}
+}
+
+func TestWindowDisabled(t *testing.T) {
+	SetEpochWindow(-1)
+	defer resetWindow()
+	if EpochWindow() != 0 {
+		t.Fatalf("EpochWindow() = %d, want 0 when disabled", EpochWindow())
+	}
+	p := NewProfiler("off")
+	for i := 0; i < 1000; i++ {
+		p.Load(0x40, uint64(i*8), uint64(i))
+	}
+	prof := p.Finalize()
+	if prof.TotalEpochs != 0 || len(prof.Phases) != 0 {
+		t.Fatalf("epochs recorded with window disabled: %+v", prof)
+	}
+}
+
+func TestStrideSlotBuckets(t *testing.T) {
+	cases := []struct {
+		delta int64
+		want  int
+	}{
+		{0, 0}, {1, 1}, {-1, 1}, {2, 2}, {3, 2}, {4, 3}, {8, 4},
+		{1 << 14, 15}, {-(1 << 20), 15}, {1<<62 - 1, 15},
+	}
+	for _, c := range cases {
+		if got := strideSlot(c.delta); got != c.want {
+			t.Errorf("strideSlot(%d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestTwoPhaseStreamClusters(t *testing.T) {
+	SetEpochWindow(100)
+	defer resetWindow()
+	p := NewProfiler("twophase")
+	drivePhased(p, 16, 100)
+	prof := p.Finalize()
+	if prof.TotalEpochs != 16 {
+		t.Fatalf("TotalEpochs = %d, want 16", prof.TotalEpochs)
+	}
+	if len(prof.Phases) != 2 {
+		t.Fatalf("phases = %d (%+v), want 2", len(prof.Phases), prof.Phases)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1}
+	if !reflect.DeepEqual(prof.Timeline, want) {
+		t.Fatalf("timeline = %v, want %v", prof.Timeline, want)
+	}
+	for _, ph := range prof.Phases {
+		if ph.Epochs != 8 || ph.Occupancy != 0.5 {
+			t.Fatalf("phase %+v, want 8 epochs at 0.5 occupancy", ph)
+		}
+	}
+	// Epochs within a phase are identical, so the medoid projection must
+	// reproduce the whole-run rates exactly.
+	pr := prof.Projection
+	if !pr.HasSim {
+		t.Fatal("live profile must carry HasSim")
+	}
+	if pr.MPKIErr > 1e-12 || pr.CoverageErr > 1e-12 || pr.MeanRelErrErr > 1e-12 {
+		t.Fatalf("projection of an ideal two-phase stream must be exact: %+v", pr)
+	}
+	if !pr.Representative {
+		t.Fatalf("ideal stream not judged representative: %+v", pr)
+	}
+	if pr.ActualCoverage != 0.5 {
+		t.Fatalf("ActualCoverage = %v, want 0.5 (phase B covered, phase A not)", pr.ActualCoverage)
+	}
+}
+
+func TestUniformStreamIsOnePhase(t *testing.T) {
+	SetEpochWindow(100)
+	defer resetWindow()
+	p := NewProfiler("uniform")
+	insts := uint64(0)
+	for i := 0; i < 800; i++ {
+		insts += 2
+		p.Load(uint64(0x400+i%5*4), uint64(0x100000+i%64*8), insts)
+		if i%8 == 0 {
+			p.Miss(true)
+			p.Train(0.05)
+		}
+	}
+	prof := p.Finalize()
+	if len(prof.Phases) != 1 {
+		t.Fatalf("uniform stream split into %d phases: %+v", len(prof.Phases), prof.Phases)
+	}
+	if !prof.Projection.Representative {
+		t.Fatalf("single-phase run must be representative: %+v", prof.Projection)
+	}
+}
+
+func TestOfflineProfileHasNoSim(t *testing.T) {
+	SetEpochWindow(50)
+	defer resetWindow()
+	p := NewStreamProfiler("stream")
+	for i := 0; i < 200; i++ {
+		p.Load(uint64(0x400+i%4*4), uint64(0x2000+i*8), uint64(i*2))
+	}
+	prof := p.Finalize()
+	if prof.Projection.HasSim {
+		t.Fatal("stream profile must not claim simulation rates")
+	}
+	if prof.Projection.Representative {
+		t.Fatal("offline profile has nothing to project; must not claim representativeness")
+	}
+	if len(prof.Phases) == 0 {
+		t.Fatal("offline profile still clusters on access vectors")
+	}
+}
+
+func TestWildTrainingErrorsExcluded(t *testing.T) {
+	SetEpochWindow(10)
+	defer resetWindow()
+	p := NewProfiler("wild")
+	for i := 0; i < 9; i++ {
+		p.Load(0x40, uint64(i*8), uint64(i))
+	}
+	p.Train(0.2)
+	p.Train(math.Inf(1))
+	p.Train(math.NaN())
+	prof := p.Finalize()
+	if got := prof.Projection.ActualMeanRelErr; got != 0.2 {
+		t.Fatalf("ActualMeanRelErr = %v, want 0.2 (wild errors excluded)", got)
+	}
+	if len(prof.Phases) != 1 || prof.Phases[0].MeanRelErr != 0.2 {
+		t.Fatalf("medoid MeanRelErr = %+v, want 0.2", prof.Phases)
+	}
+}
+
+func TestIdenticalStreamsFinalizeIdentically(t *testing.T) {
+	SetEpochWindow(60)
+	defer resetWindow()
+	run := func() ScopeProfile {
+		p := NewProfiler("det")
+		drivePhased(p, 12, 60)
+		return p.Finalize()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("identical event streams must finalize identically")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	SetEpochWindow(100)
+	defer resetWindow()
+	p := NewProfiler("d")
+	drivePhased(p, 8, 100)
+	prof := p.Finalize()
+	_ = prof
+	// Rebuild features directly from a fresh profiler's ring via cluster's
+	// helpers: identity and symmetry of the distance.
+	p2 := NewProfiler("d2")
+	drivePhased(p2, 8, 100)
+	p2.Finalize()
+	a := featureOf(&p2.ring[0])
+	b := featureOf(&p2.ring[4])
+	sc := scalarScale{mpki: 10, merr: 1}
+	if d := distance(&a, &a, sc, true); d != 0 {
+		t.Fatalf("distance(a,a) = %v, want 0", d)
+	}
+	dab := distance(&a, &b, sc, true)
+	dba := distance(&b, &a, sc, true)
+	if dab != dba {
+		t.Fatalf("distance not symmetric: %v vs %v", dab, dba)
+	}
+	if dab <= 0 || dab > 1 {
+		t.Fatalf("distance(a,b) = %v, want in (0,1]", dab)
+	}
+}
+
+func TestClusterThresholdConfigurable(t *testing.T) {
+	defer SetClusterThreshold(0)
+	SetClusterThreshold(2) // beyond any possible distance: everything is one phase
+	SetEpochWindow(100)
+	defer resetWindow()
+	p := NewProfiler("coarse")
+	drivePhased(p, 16, 100)
+	if prof := p.Finalize(); len(prof.Phases) != 1 {
+		t.Fatalf("threshold 2 must collapse all epochs into one phase, got %d", len(prof.Phases))
+	}
+	SetClusterThreshold(0)
+	if ClusterThreshold() != defaultThreshold {
+		t.Fatalf("ClusterThreshold() = %v after reset, want default %v", ClusterThreshold(), defaultThreshold)
+	}
+}
+
+func TestMaxPhasesCap(t *testing.T) {
+	SetEpochWindow(10)
+	defer resetWindow()
+	p := NewProfiler("cap")
+	// Every epoch hits a different code+data region: far more distinct
+	// fingerprints than maxPhases.
+	insts := uint64(0)
+	for e := 0; e < 3*maxPhases; e++ {
+		for i := 0; i < 10; i++ {
+			insts += 2
+			p.Load(uint64(0x1000*e+i*4), uint64(0x100000*uint64(e+1)+uint64(i)*8), insts)
+		}
+	}
+	prof := p.Finalize()
+	if len(prof.Phases) > maxPhases {
+		t.Fatalf("phases = %d, want <= %d", len(prof.Phases), maxPhases)
+	}
+}
+
+func TestPublishSnapshotRoundtrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	SetEpochWindow(50)
+	defer resetWindow()
+	mk := func() *Profiler {
+		p := NewProfiler("bench/lva/cafe")
+		drivePhased(p, 4, 50)
+		return p
+	}
+	Publish(mk())
+	Publish(mk()) // replace-semantics: republishing the same scope is idempotent
+
+	snap := TakeSnapshot()
+	if len(snap.Scopes) != 1 {
+		t.Fatalf("scopes = %d, want 1 (publish must replace per scope)", len(snap.Scopes))
+	}
+	b, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatal("snapshot JSON roundtrip not identical")
+	}
+	Reset()
+	if n := len(TakeSnapshot().Scopes); n != 0 {
+		t.Fatalf("Reset left %d scopes", n)
+	}
+}
+
+func TestSnapshotSortedByScope(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, scope := range []string{"zeta/lva/1", "alpha/lva/2", "mid/lvp/3"} {
+		p := NewProfiler(scope)
+		p.Load(0x40, 0x1000, 1)
+		Publish(p)
+	}
+	snap := TakeSnapshot()
+	if len(snap.Scopes) != 3 {
+		t.Fatalf("scopes = %d, want 3", len(snap.Scopes))
+	}
+	for i := 1; i < len(snap.Scopes); i++ {
+		if snap.Scopes[i-1].Scope >= snap.Scopes[i].Scope {
+			t.Fatalf("scopes not sorted: %q before %q", snap.Scopes[i-1].Scope, snap.Scopes[i].Scope)
+		}
+	}
+}
+
+// TestConcurrentPublishSnapshot pins the registry's locking the same way
+// the attr registry test does: the harness publishes one profile per
+// finished run from whichever scheduler goroutine ran it, concurrently
+// with snapshot readers. Run under -race (ci.sh does) this is the
+// registry's race gate.
+func TestConcurrentPublishSnapshot(t *testing.T) {
+	Reset()
+	defer Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := NewProfiler("bench/lva/" + strconv.Itoa(g))
+				p.Load(uint64(0x400+g), uint64(0x1000+i*8), uint64(i))
+				Publish(p)
+				if len(TakeSnapshot().Scopes) == 0 {
+					t.Error("snapshot empty while publishing")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(TakeSnapshot().Scopes); n != 8 {
+		t.Fatalf("scopes = %d, want 8 (one per goroutine, republication idempotent)", n)
+	}
+}

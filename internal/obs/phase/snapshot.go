@@ -1,0 +1,274 @@
+package phase
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// PhaseStats is one detected phase: how much of the run it occupies and
+// the rates of its medoid (representative) interval.
+type PhaseStats struct {
+	ID          int     `json:"id"`
+	Epochs      int     `json:"epochs"`
+	Occupancy   float64 `json:"occupancy"`    // fraction of retained epochs
+	MedoidEpoch int     `json:"medoid_epoch"` // run-level epoch index of the representative interval
+	Loads       uint64  `json:"loads"`
+	Insts       uint64  `json:"insts"`
+	// Medoid-interval rates; zero for offline stream profiles.
+	MPKI       float64 `json:"mpki"`
+	Coverage   float64 `json:"coverage"`
+	MeanRelErr float64 `json:"mean_rel_error"`
+}
+
+// Projection compares the whole run's counters against the projection
+// from the weighted medoid intervals: each phase contributes its medoid's
+// rates weighted by the phase's share of instructions (MPKI), misses
+// (coverage) and judged trainings (mean error). Small errors mean the
+// medoids are faithful stand-ins — the sampled-simulation soundness
+// criterion.
+type Projection struct {
+	HasSim              bool    `json:"has_sim"` // false for offline stream profiles (no rates to project)
+	ActualMPKI          float64 `json:"actual_mpki"`
+	ProjectedMPKI       float64 `json:"projected_mpki"`
+	MPKIErr             float64 `json:"mpki_rel_error"`
+	ActualCoverage      float64 `json:"actual_coverage"`
+	ProjectedCoverage   float64 `json:"projected_coverage"`
+	CoverageErr         float64 `json:"coverage_abs_error"`
+	ActualMeanRelErr    float64 `json:"actual_mean_rel_error"`
+	ProjectedMeanRelErr float64 `json:"projected_mean_rel_error"`
+	MeanRelErrErr       float64 `json:"mean_rel_error_rel_error"`
+	Representative      bool    `json:"representative"`
+}
+
+// Representativeness verdict thresholds: the medoid projection must land
+// within 5% relative on MPKI and mean error and within 2 points absolute
+// on coverage for the run to count as representable by its medoids.
+const (
+	maxMPKIProjErr     = 0.05
+	maxCoverageProjErr = 0.02
+	maxMeanErrProjErr  = 0.05
+)
+
+// ScopeProfile is the published phase profile of one run. Totals and the
+// projection cover the retained epochs only (DroppedEpochs reports how
+// many fell off the ring), so actual and projected sides always describe
+// the same interval set.
+type ScopeProfile struct {
+	Scope         string       `json:"scope"`
+	EpochWindow   int          `json:"epoch_window"`
+	TotalEpochs   int          `json:"total_epochs"`
+	DroppedEpochs int          `json:"dropped_epochs"`
+	Loads         uint64       `json:"loads"`
+	Insts         uint64       `json:"insts"`
+	Phases        []PhaseStats `json:"phases,omitempty"`
+	// Timeline is the phase-occupancy timeline: the phase id of each
+	// retained epoch in time order.
+	Timeline   []int      `json:"timeline,omitempty"`
+	Projection Projection `json:"projection"`
+}
+
+// Snapshot is a frozen, scope-sorted view of every published profile.
+type Snapshot struct {
+	Scopes []ScopeProfile `json:"scopes"`
+}
+
+// relErrOf is the guarded relative error |proj-actual|/|actual|: an actual
+// of zero projects exactly (error 0) or not at all (error 1).
+func relErrOf(actual, proj float64) float64 {
+	if actual == 0 {
+		if proj == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (proj - actual) / actual
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// project computes the weighted-medoid projection over the retained
+// epochs. Weights are per-phase resource shares, so a medoid's rate is
+// scaled by how much of the run its phase covers.
+func project(epochs []Epoch, assign, medoids []int) Projection {
+	var pr Projection
+	pr.HasSim = true
+
+	type phaseTotals struct{ insts, misses, judged uint64 }
+	totals := make([]phaseTotals, len(medoids))
+	var insts, misses, covered, judged uint64
+	var errSum float64
+	for i := range epochs {
+		e := &epochs[i]
+		insts += e.Insts
+		misses += e.Misses
+		covered += e.Covered
+		judged += e.Judged
+		errSum += e.ErrSum
+		t := &totals[assign[i]]
+		t.insts += e.Insts
+		t.misses += e.Misses
+		t.judged += e.Judged
+	}
+	if insts > 0 {
+		pr.ActualMPKI = float64(misses) * 1000 / float64(insts)
+	}
+	if misses > 0 {
+		pr.ActualCoverage = float64(covered) / float64(misses)
+	}
+	if judged > 0 {
+		pr.ActualMeanRelErr = errSum / float64(judged)
+	}
+
+	var projMisses, projCovered, projErrSum float64
+	for c, m := range medoids {
+		mpki, cov, merr := epochRates(&epochs[m])
+		projMisses += mpki / 1000 * float64(totals[c].insts)
+		projCovered += cov * float64(totals[c].misses)
+		projErrSum += merr * float64(totals[c].judged)
+	}
+	if insts > 0 {
+		pr.ProjectedMPKI = projMisses * 1000 / float64(insts)
+	}
+	if misses > 0 {
+		pr.ProjectedCoverage = projCovered / float64(misses)
+	}
+	if judged > 0 {
+		pr.ProjectedMeanRelErr = projErrSum / float64(judged)
+	}
+	pr.MPKIErr = relErrOf(pr.ActualMPKI, pr.ProjectedMPKI)
+	pr.CoverageErr = pr.ProjectedCoverage - pr.ActualCoverage
+	if pr.CoverageErr < 0 {
+		pr.CoverageErr = -pr.CoverageErr
+	}
+	pr.MeanRelErrErr = relErrOf(pr.ActualMeanRelErr, pr.ProjectedMeanRelErr)
+	pr.Representative = pr.MPKIErr <= maxMPKIProjErr &&
+		pr.CoverageErr <= maxCoverageProjErr &&
+		pr.MeanRelErrErr <= maxMeanErrProjErr
+	return pr
+}
+
+// Finalize seals any partial epoch, clusters the retained epochs into
+// phases and freezes the profiler into its exported form. The result is
+// deterministic for a deterministic event stream regardless of scheduling:
+// epochs are visited in time order and every tie-break is index-ordered.
+func (p *Profiler) Finalize() ScopeProfile {
+	if p.window > 0 && p.epoch.Loads > 0 {
+		p.sealEpoch(p.lastInsts)
+	}
+	out := ScopeProfile{
+		Scope:         p.scope,
+		EpochWindow:   int(p.window),
+		TotalEpochs:   p.totalEpochs,
+		DroppedEpochs: p.totalEpochs - p.ringLen,
+	}
+	out.Projection.HasSim = p.hasSim
+	if p.ringLen == 0 {
+		return out
+	}
+	epochs := make([]Epoch, 0, p.ringLen)
+	for i := 0; i < p.ringLen; i++ {
+		epochs = append(epochs, p.ring[(p.ringStart+i)%len(p.ring)])
+	}
+	for i := range epochs {
+		out.Loads += epochs[i].Loads
+		out.Insts += epochs[i].Insts
+	}
+
+	assign, medoids := cluster(epochs, p.hasSim)
+	out.Timeline = assign
+	out.Phases = make([]PhaseStats, len(medoids))
+	inv := 1 / float64(len(epochs))
+	for c, m := range medoids {
+		ps := &out.Phases[c]
+		ps.ID = c
+		ps.MedoidEpoch = epochs[m].Index
+		ps.MPKI, ps.Coverage, ps.MeanRelErr = epochRates(&epochs[m])
+	}
+	for i, c := range assign {
+		ps := &out.Phases[c]
+		ps.Epochs++
+		ps.Loads += epochs[i].Loads
+		ps.Insts += epochs[i].Insts
+	}
+	for c := range out.Phases {
+		out.Phases[c].Occupancy = float64(out.Phases[c].Epochs) * inv
+	}
+	if p.hasSim {
+		out.Projection = project(epochs, assign, medoids)
+	}
+	return out
+}
+
+// registry is the process-wide store of published phase profiles.
+type registry struct {
+	mu     sync.Mutex
+	scopes map[string]ScopeProfile
+}
+
+// reg lazily builds the registry exactly once (the sync.OnceValue accessor
+// keeps every mutation behind a local, per the obshooks global-mutation
+// rule).
+var reg = sync.OnceValue(func() *registry {
+	return &registry{scopes: make(map[string]ScopeProfile)}
+})
+
+// PublishProfile stores a finalized profile under its scope, replacing any
+// prior publication of the same scope. Runs are deterministic functions of
+// their scope fingerprint, so republication (e.g. with the run cache
+// disabled) is idempotent. The profile is published rather than the
+// profiler so callers can also render it (timeline spans, reports) without
+// finalizing twice.
+func PublishProfile(s ScopeProfile) {
+	g := reg()
+	g.mu.Lock()
+	g.scopes[s.Scope] = s
+	g.mu.Unlock()
+}
+
+// Publish finalizes p and publishes the result.
+func Publish(p *Profiler) { PublishProfile(p.Finalize()) }
+
+// Reset drops every published profile (for tests).
+func Reset() {
+	g := reg()
+	g.mu.Lock()
+	g.scopes = make(map[string]ScopeProfile)
+	g.mu.Unlock()
+}
+
+// TakeSnapshot returns the published profiles sorted by scope —
+// byte-stable across runs and Parallelism levels for a deterministic
+// experiment set.
+func TakeSnapshot() Snapshot {
+	g := reg()
+	g.mu.Lock()
+	out := Snapshot{Scopes: make([]ScopeProfile, 0, len(g.scopes))}
+	for _, s := range g.scopes {
+		out.Scopes = append(out.Scopes, s)
+	}
+	g.mu.Unlock()
+	sort.Slice(out.Scopes, func(i, j int) bool { return out.Scopes[i].Scope < out.Scopes[j].Scope })
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseSnapshot decodes a snapshot written by JSON.
+func ParseSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, errors.Join(errors.New("phase: invalid snapshot"), err)
+	}
+	return s, nil
+}

@@ -1,0 +1,25 @@
+package trace
+
+import "io"
+
+// Walk streams every access of src through fn along with its global
+// instruction index, in stream order, until the source is exhausted or fn
+// returns an error. It is the offline-analysis counterpart of
+// memsim.Replay: one decode pass, no simulation. fn must not retain the
+// Access pointer — it aliases the reader's reused chunk buffer.
+func Walk(src ChunkSource, fn func(a *Access, insts uint64) error) error {
+	for {
+		chunk, insts, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for i := range chunk {
+			if err := fn(&chunk[i], insts[i]); err != nil {
+				return err
+			}
+		}
+	}
+}
